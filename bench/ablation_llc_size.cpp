@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Ablation (§VII-B) — LLC capacity sweep for the three LLC-bound
+ * workloads. The paper concludes 2 MB/core suffices for everything but
+ * ad/survival/tickets, 10 MB/core covers ad and survival, and tickets
+ * wants more still; this sweep regenerates that sizing curve on the
+ * scaled platform (multiply capacities by 8 for paper-equivalent MB).
+ */
+#include "common.hpp"
+#include "support/table.hpp"
+
+#include <cstdio>
+
+using namespace bayes;
+
+int
+main()
+{
+    Table table({"workload", "LLC(KB,scaled)", "LLC(MB,paper-equiv)",
+                 "LLCMPKI@4", "IPC@4"});
+    const std::uint64_t capacitiesKb[] = {256, 512, 1024, 2048, 4096,
+                                          8192};
+    for (const std::string name : {"ad", "survival", "tickets"}) {
+        const auto entry =
+            bench::prepareWorkload(name, 1.0, bench::kShortIterations);
+        for (const std::uint64_t kb : capacitiesKb) {
+            auto platform = archsim::Platform::skylake();
+            platform.llc.sizeBytes = kb * 1024;
+            const auto sim = archsim::simulateSystem(
+                entry.profile, entry.work, platform, 4);
+            table.row()
+                .cell(name)
+                .cell(static_cast<long>(kb))
+                .cell(static_cast<double>(kb) * 8.0 / 1024.0, 1)
+                .cell(sim.llcMpki, 2)
+                .cell(sim.ipc, 2);
+        }
+    }
+    printSection("Ablation — LLC capacity sweep (Skylake core model, "
+                 "4 cores)",
+                 table);
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Ablation — the hardware stream prefetcher. The tape's sweeps are
+ * almost perfectly sequential, so disabling the prefetch model turns
+ * every capacity miss into an exposed demand miss; this quantifies how
+ * much of the suite's benign memory behavior the streamer provides
+ * (DESIGN.md §2 discusses why the model includes it).
+ */
+#include "common.hpp"
+#include "support/table.hpp"
+
+#include <cstdio>
+
+using namespace bayes;
+
+int
+main()
+{
+    const auto platform = archsim::Platform::skylake();
+    Table table({"workload", "prefetch", "LLCMPKI@4", "IPC@4", "time(s)"});
+    for (const std::string name : {"votes", "ad", "tickets"}) {
+        const auto entry =
+            bench::prepareWorkload(name, 1.0, bench::kShortIterations);
+        for (const bool prefetch : {true, false}) {
+            archsim::CoreParams params;
+            params.prefetchEnabled = prefetch;
+            const auto sim = archsim::simulateSystem(
+                entry.profile, entry.work, platform, 4, params);
+            table.row()
+                .cell(name)
+                .cell(prefetch ? "on" : "off")
+                .cell(sim.llcMpki, 2)
+                .cell(sim.ipc, 2)
+                .cell(sim.seconds, 2);
+        }
+    }
+    printSection("Ablation — stream prefetcher on/off (Skylake, 4 cores)",
+                 table);
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * §II-B companion — variational inference vs sampling. The paper
+ * chooses NUTS because variational methods "do not output posterior
+ * distributions as sampling algorithms do, and do not have guarantees
+ * to be asymptotically exact"; this bench quantifies the trade-off:
+ * ADVI's gradient-evaluation budget vs NUTS', and the quality gap
+ * (moment-matched KL of each against a long NUTS ground truth).
+ */
+#include "common.hpp"
+#include "diagnostics/convergence.hpp"
+#include "diagnostics/summary.hpp"
+#include "samplers/advi.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+#include <cstdio>
+
+using namespace bayes;
+
+namespace {
+
+std::vector<std::vector<double>>
+byCoordinate(const std::vector<std::vector<double>>& draws,
+             std::size_t dim)
+{
+    std::vector<std::vector<double>> out(dim);
+    for (const auto& d : draws)
+        for (std::size_t i = 0; i < dim; ++i)
+            out[i].push_back(d[i]);
+    return out;
+}
+
+} // namespace
+
+int
+main()
+{
+    Table table({"workload", "method", "grad evals", "wall s",
+                 "KL vs truth"});
+    for (const std::string name : {"12cities", "ad", "racial"}) {
+        const auto wl = workloads::makeWorkload(name);
+        const std::size_t dim = wl->layout().dim();
+
+        // Ground truth: long NUTS run.
+        std::fprintf(stderr, "[bench] %s ground truth...\n", name.c_str());
+        samplers::Config gt;
+        gt.chains = 4;
+        gt.iterations = 2 * wl->info().defaultIterations;
+        const auto gtRun = samplers::run(*wl, gt);
+        std::vector<std::vector<double>> truth(dim);
+        for (std::size_t i = 0; i < dim; ++i)
+            truth[i] = diagnostics::pooledCoordinate(gtRun, i);
+
+        // NUTS at the user setting.
+        Timer nutsTimer;
+        samplers::Config cfg;
+        cfg.chains = 4;
+        cfg.iterations = wl->info().defaultIterations;
+        const auto nutsRun = samplers::run(*wl, cfg);
+        std::vector<std::vector<double>> nutsDraws(dim);
+        for (std::size_t i = 0; i < dim; ++i)
+            nutsDraws[i] = diagnostics::pooledCoordinate(nutsRun, i);
+        table.row()
+            .cell(name)
+            .cell("NUTS")
+            .cell(static_cast<long>(nutsRun.totalGradEvals()))
+            .cell(nutsTimer.seconds(), 1)
+            .cell(diagnostics::gaussianKl(nutsDraws, truth), 4);
+
+        // ADVI.
+        Timer adviTimer;
+        const auto fit = samplers::fitAdvi(*wl);
+        table.row()
+            .cell(name)
+            .cell("ADVI")
+            .cell(static_cast<long>(fit.gradEvals))
+            .cell(adviTimer.seconds(), 1)
+            .cell(diagnostics::gaussianKl(byCoordinate(fit.draws, dim),
+                                          truth),
+                  4);
+        std::fprintf(stderr, "[bench] %s done\n", name.c_str());
+    }
+    printSection("ADVI vs NUTS (§II-B): work and posterior quality "
+                 "against a 2x NUTS ground truth",
+                 table);
+    return 0;
+}

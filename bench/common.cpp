@@ -1,0 +1,45 @@
+#include "common.hpp"
+
+#include <cstdio>
+
+#include "support/timer.hpp"
+
+namespace bayes::bench {
+
+samplers::Config
+userConfig(const workloads::Workload& workload)
+{
+    samplers::Config cfg;
+    cfg.chains = workload.info().defaultChains;
+    cfg.iterations = workload.info().defaultIterations;
+    return cfg;
+}
+
+SuiteEntry
+prepareWorkload(const std::string& name, double dataScale, int iterations)
+{
+    SuiteEntry entry;
+    entry.workload = workloads::makeWorkload(name, dataScale);
+    samplers::Config cfg = userConfig(*entry.workload);
+    if (iterations > 0)
+        cfg.iterations = iterations;
+
+    Timer timer;
+    entry.run = samplers::run(*entry.workload, cfg);
+    entry.profile = archsim::profileWorkload(*entry.workload, cfg.chains);
+    entry.work = archsim::extractRunWork(entry.run);
+    std::fprintf(stderr, "[bench] %-10s scale=%.2f iters=%d sampled in %.1fs\n",
+                 name.c_str(), dataScale, cfg.iterations, timer.seconds());
+    return entry;
+}
+
+std::vector<SuiteEntry>
+prepareSuite(double dataScale, int iterations)
+{
+    std::vector<SuiteEntry> suite;
+    for (const auto& name : workloads::suiteNames())
+        suite.push_back(prepareWorkload(name, dataScale, iterations));
+    return suite;
+}
+
+} // namespace bayes::bench

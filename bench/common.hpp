@@ -1,0 +1,51 @@
+/**
+ * @file
+ * Shared plumbing for the figure/table benches: run a workload at its
+ * Table-I user configuration (or a reduced iteration count for the
+ * iteration-invariant memory metrics), capture its architecture
+ * profile, and memoize everything within the process so multi-platform
+ * benches sample each workload once.
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "archsim/system.hpp"
+#include "samplers/runner.hpp"
+#include "workloads/workload.hpp"
+
+namespace bayes::bench {
+
+/** Everything a bench needs to know about one sampled workload. */
+struct SuiteEntry
+{
+    std::unique_ptr<workloads::Workload> workload;
+    samplers::RunResult run;
+    archsim::WorkloadProfile profile;
+    archsim::RunWork work;
+};
+
+/** The user (Table-I) sampler configuration of a workload. */
+samplers::Config userConfig(const workloads::Workload& workload);
+
+/**
+ * Sample + profile one workload.
+ * @param name        suite workload name
+ * @param dataScale   dataset shrink factor
+ * @param iterations  0 = the workload's own user setting; otherwise a
+ *                    reduced count (valid when only iteration-invariant
+ *                    metrics such as IPC/MPKI are consumed)
+ */
+SuiteEntry prepareWorkload(const std::string& name, double dataScale = 1.0,
+                           int iterations = 0);
+
+/** prepareWorkload over the full Table-I suite, with progress logging. */
+std::vector<SuiteEntry> prepareSuite(double dataScale = 1.0,
+                                     int iterations = 0);
+
+/** Reduced iteration count used by iteration-invariant benches. */
+inline constexpr int kShortIterations = 240;
+
+} // namespace bayes::bench

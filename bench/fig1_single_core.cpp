@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Figure 1 — single-core runtime statistics of BayesSuite on Skylake:
+ * (a) IPC, (b) i-cache MPKI, (c) branch MPKI, (d) LLC MPKI,
+ * (e) average memory bandwidth, (f) total execution time.
+ *
+ * Workloads run at their user (Table I) configurations; the 4 chains
+ * execute sequentially on the single core, as in the paper.
+ */
+#include "common.hpp"
+#include "support/table.hpp"
+
+#include <cstdio>
+
+using namespace bayes;
+
+int
+main()
+{
+    const auto platform = archsim::Platform::skylake();
+    Table table({"workload", "IPC", "I$MPKI", "BrMPKI", "LLCMPKI",
+                 "BW(MB/s)", "time(s)"});
+    for (const auto& entry : bench::prepareSuite()) {
+        const auto sim = archsim::simulateSystem(entry.profile, entry.work,
+                                                 platform, /*cores=*/1);
+        table.row()
+            .cell(entry.workload->name())
+            .cell(sim.ipc, 2)
+            .cell(sim.icacheMpki, 2)
+            .cell(sim.branchMpki, 2)
+            .cell(sim.llcMpki, 2)
+            .cell(sim.bandwidthMBps, 0)
+            .cell(sim.seconds, 1);
+    }
+    printSection("Figure 1 — single-core characterization (Skylake, "
+                 "1 core, 4 chains sequential)",
+                 table);
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Figure 2 — IPC, LLC MPKI, and speedup of each workload on 1, 2 and 4
+ * Skylake cores. Rows are sorted by 4-core LLC MPKI as in the paper;
+ * LLC-bound workloads (ad, survival, tickets) saturate below 2x.
+ */
+#include "common.hpp"
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+using namespace bayes;
+
+namespace {
+
+struct Row
+{
+    std::string name;
+    double ipc[3];
+    double mpki[3];
+    double speedup[3];
+};
+
+} // namespace
+
+int
+main()
+{
+    const auto platform = archsim::Platform::skylake();
+    const int coreCounts[3] = {1, 2, 4};
+
+    std::vector<Row> rows;
+    for (const auto& entry :
+         bench::prepareSuite(1.0, bench::kShortIterations)) {
+        Row row;
+        row.name = entry.workload->name();
+        double base = 0.0;
+        for (int i = 0; i < 3; ++i) {
+            const auto sim = archsim::simulateSystem(
+                entry.profile, entry.work, platform, coreCounts[i]);
+            row.ipc[i] = sim.ipc;
+            row.mpki[i] = sim.llcMpki;
+            if (i == 0)
+                base = sim.seconds;
+            row.speedup[i] = base / sim.seconds;
+        }
+        rows.push_back(std::move(row));
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row& a, const Row& b) { return a.mpki[2] < b.mpki[2]; });
+
+    Table table({"workload", "IPC@1", "IPC@2", "IPC@4", "MPKI@1", "MPKI@2",
+                 "MPKI@4", "spd@2", "spd@4"});
+    for (const auto& row : rows) {
+        table.row()
+            .cell(row.name)
+            .cell(row.ipc[0], 2)
+            .cell(row.ipc[1], 2)
+            .cell(row.ipc[2], 2)
+            .cell(row.mpki[0], 2)
+            .cell(row.mpki[1], 2)
+            .cell(row.mpki[2], 2)
+            .cell(row.speedup[1], 2)
+            .cell(row.speedup[2], 2);
+    }
+    printSection("Figure 2 — multicore scaling on Skylake "
+                 "(sorted by 4-core LLC MPKI)",
+                 table);
+    return 0;
+}

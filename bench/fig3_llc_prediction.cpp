@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Figure 3 — LLC miss-rate prediction from the static modeled-data-size
+ * feature. Each workload runs at full, half (-h) and quarter (-q) data
+ * scale; the 4-core Skylake LLC MPKI is plotted against modeled data
+ * size, and a log-log line is fitted over the points above 1 MPKI (the
+ * paper's fit region). The derived data-size threshold drives the
+ * platform scheduler of Figures 4 and 8.
+ */
+#include "common.hpp"
+#include "sched/scheduler.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+using namespace bayes;
+
+int
+main()
+{
+    const auto platform = archsim::Platform::skylake();
+    const double scales[3] = {1.0, 0.5, 0.25};
+    const char* suffix[3] = {"", "-h", "-q"};
+
+    std::vector<sched::MissObservation> observations;
+    Table table({"point", "modeled KB", "LLC MPKI@4"});
+    for (int s = 0; s < 3; ++s) {
+        for (const auto& entry :
+             bench::prepareSuite(scales[s], bench::kShortIterations)) {
+            const auto sim = archsim::simulateSystem(
+                entry.profile, entry.work, platform, 4);
+            const double bytes =
+                static_cast<double>(entry.workload->modeledDataBytes());
+            observations.push_back(
+                {entry.workload->name() + suffix[s], bytes, sim.llcMpki});
+            table.row()
+                .cell(entry.workload->name() + suffix[s])
+                .cell(bytes / 1024.0, 1)
+                .cell(sim.llcMpki, 2);
+        }
+    }
+    printSection("Figure 3 — modeled data size vs 4-core LLC MPKI "
+                 "(Skylake; -h/-q = half/quarter data)",
+                 table);
+
+    sched::LlcMissPredictor predictor;
+    predictor.fit(observations, /*fitFloor=*/1.0);
+
+    // Fit quality over the above-floor region.
+    std::vector<double> logBytes, logMpki;
+    for (const auto& o : observations) {
+        if (o.llcMpki4Core >= 1.0) {
+            logBytes.push_back(std::log(o.modeledDataBytes));
+            logMpki.push_back(std::log(o.llcMpki4Core));
+        }
+    }
+    Table fit({"metric", "value"});
+    fit.row().cell("points >= 1 MPKI").cell(
+        static_cast<long>(logBytes.size()));
+    fit.row().cell("log-log slope").cell(predictor.slope(), 3);
+    fit.row().cell("log-log intercept").cell(predictor.intercept(), 3);
+    fit.row().cell("log-log Pearson r").cell(pearson(logBytes, logMpki), 3);
+    fit.row().cell("threshold @ 1 MPKI (KB)").cell(
+        predictor.dataSizeThreshold(1.0) / 1024.0, 1);
+    printSection("Figure 3 — fitted predictor (above-floor region)", fit);
+    return 0;
+}

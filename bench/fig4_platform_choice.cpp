@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 4 — platform comparison at 4 cores: per-workload speedup of
+ * Skylake over the Broadwell baseline, IPC and LLC MPKI on both
+ * machines, plus the scheduled mix (LLC-bound workloads on Broadwell,
+ * the rest on Skylake) and its aggregate speedup over all-Broadwell —
+ * the paper reports 1.16x.
+ */
+#include "common.hpp"
+#include "sched/scheduler.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+
+#include <cstdio>
+
+using namespace bayes;
+
+int
+main()
+{
+    const auto sky = archsim::Platform::skylake();
+    const auto bdw = archsim::Platform::broadwell();
+    // Threshold from the Fig. 3 analysis: between the largest
+    // compute-bound modeled dataset (~13 KB) and the smallest LLC-bound
+    // one (~19 KB).
+    const sched::PlatformScheduler scheduler(sky, bdw, 16.0 * 1024.0);
+
+    Table table({"workload", "spd(Sky/Bdw)", "IPC Sky", "IPC Bdw",
+                 "MPKI Sky", "MPKI Bdw", "scheduled", "spd(sched/Bdw)"});
+    std::vector<double> schedSpeedups;
+    double bdwTotal = 0.0, schedTotal = 0.0;
+    for (const auto& entry :
+         bench::prepareSuite(1.0, bench::kShortIterations)) {
+        const auto onSky =
+            archsim::simulateSystem(entry.profile, entry.work, sky, 4);
+        const auto onBdw =
+            archsim::simulateSystem(entry.profile, entry.work, bdw, 4);
+        const auto placement = scheduler.place(*entry.workload);
+        const auto& chosen =
+            placement.platform->name == "Skylake" ? onSky : onBdw;
+        const double schedSpeedup = onBdw.seconds / chosen.seconds;
+        schedSpeedups.push_back(schedSpeedup);
+        bdwTotal += onBdw.seconds;
+        schedTotal += chosen.seconds;
+        table.row()
+            .cell(entry.workload->name())
+            .cell(onBdw.seconds / onSky.seconds, 2)
+            .cell(onSky.ipc, 2)
+            .cell(onBdw.ipc, 2)
+            .cell(onSky.llcMpki, 2)
+            .cell(onBdw.llcMpki, 2)
+            .cell(placement.platform->name)
+            .cell(schedSpeedup, 2);
+    }
+    printSection("Figure 4 — Skylake vs Broadwell at 4 cores + "
+                 "scheduled placement",
+                 table);
+
+    Table agg({"aggregate", "value"});
+    agg.row().cell("geomean speedup (scheduled / all-Broadwell)").cell(
+        geometricMean(schedSpeedups), 3);
+    agg.row().cell("total-time speedup (scheduled / all-Broadwell)").cell(
+        bdwTotal / schedTotal, 3);
+    printSection("Figure 4 — aggregate (paper: 1.16x)", agg);
+    return 0;
+}

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Figure 6 — design-space exploration for the paper's four case-study
+ * workloads (ad, survival: LLC-bound; ode, memory: compute-bound) on
+ * Skylake: the full {cores x chains x iterations} grid, the
+ * convergence-detection-achievable points, the original user setting,
+ * and the energy oracle.
+ */
+#include "common.hpp"
+#include "dse/explorer.hpp"
+#include "support/table.hpp"
+
+#include <cstdio>
+
+using namespace bayes;
+
+int
+main()
+{
+    const auto platform = archsim::Platform::skylake();
+    for (const std::string name : {"ad", "survival", "ode", "memory"}) {
+        std::fprintf(stderr, "[bench] exploring %s...\n", name.c_str());
+        const auto wl = workloads::makeWorkload(name);
+        const auto result = dse::explore(*wl, platform);
+
+        Table table({"point", "cores", "chains", "iters", "latency(s)",
+                     "energy(J)", "KL", "quality"});
+        auto emit = [&](const dse::DesignPoint& p, const char* tag) {
+            table.row()
+                .cell(std::string(tag) + p.label)
+                .cell(static_cast<long>(p.cores))
+                .cell(static_cast<long>(p.chains))
+                .cell(static_cast<long>(p.iterations))
+                .cell(p.seconds, 3)
+                .cell(p.energyJ, 1)
+                .cell(p.kl, 4)
+                .cell(p.qualityOk ? "ok" : "poor");
+        };
+        emit(result.user, "* ");
+        for (const auto& p : result.grid)
+            emit(p, "  ");
+        for (const auto& p : result.elision)
+            emit(p, "> ");
+        emit(result.oracle, "O ");
+        printSection("Figure 6 — DSE for " + name
+                         + " (*, user setting; >, detection-achievable; "
+                           "O, energy oracle)",
+                     table);
+
+        Table agg({"metric", "value"});
+        agg.row().cell("elision energy saving vs user (%)").cell(
+            100.0 * result.elisionEnergySaving(), 1);
+        agg.row().cell("oracle energy saving vs user (%)").cell(
+            100.0 * result.oracleEnergySaving(), 1);
+        agg.row().cell("oracle chains").cell(
+            static_cast<long>(result.oracle.chains));
+        printSection("Figure 6 — " + name + " aggregates", agg);
+    }
+    return 0;
+}

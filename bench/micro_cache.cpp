@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Micro-bench — cache-model throughput: accesses/second for hit-heavy,
+ * streaming, and random patterns. The figure benches replay millions of
+ * trace events, so the simulator itself must sustain tens of millions
+ * of accesses per second.
+ */
+#include <benchmark/benchmark.h>
+
+#include "archsim/cache.hpp"
+#include "archsim/stream.hpp"
+#include "support/rng.hpp"
+
+using namespace bayes::archsim;
+
+namespace {
+
+void
+BM_CacheHits(benchmark::State& state)
+{
+    CacheModel cache({1024 * 1024, 64, 16});
+    for (auto _ : state) {
+        for (std::uint64_t addr = 0; addr < 16 * 1024; addr += 64)
+            benchmark::DoNotOptimize(cache.access(addr, false));
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+
+void
+BM_CacheStreaming(benchmark::State& state)
+{
+    CacheModel cache({1024 * 1024, 64, 16});
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i) {
+            benchmark::DoNotOptimize(cache.access(addr, i & 1));
+            addr += 64;
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+
+void
+BM_CacheRandom(benchmark::State& state)
+{
+    CacheModel cache({1024 * 1024, 64, 16});
+    bayes::Rng rng(3);
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i) {
+            benchmark::DoNotOptimize(
+                cache.access(rng.nextU64() & 0xffffffc0ull, false));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+
+void
+BM_StreamDetector(benchmark::State& state)
+{
+    StreamDetector det;
+    std::uint64_t addr = 0;
+    for (auto _ : state) {
+        for (int i = 0; i < 256; ++i) {
+            benchmark::DoNotOptimize(det.isStream(addr));
+            addr += 64;
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 256);
+}
+
+} // namespace
+
+BENCHMARK(BM_CacheHits);
+BENCHMARK(BM_CacheStreaming);
+BENCHMARK(BM_CacheRandom);
+BENCHMARK(BM_StreamDetector);

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Micro-bench — hot distribution kernels in both evaluation modes:
+ * value-only (double) and taped (Var). The value/taped ratio is the
+ * interpreter overhead the architecture model's per-node instruction
+ * costs represent.
+ */
+#include <benchmark/benchmark.h>
+
+#include "ad/tape.hpp"
+#include "math/distributions.hpp"
+#include "support/rng.hpp"
+
+using namespace bayes;
+using namespace bayes::math;
+
+namespace {
+
+std::vector<double>
+observations(std::size_t n)
+{
+    Rng rng(42);
+    std::vector<double> ys(n);
+    for (auto& y : ys)
+        y = rng.normal(0.5, 1.2);
+    return ys;
+}
+
+void
+BM_NormalLpdfDouble(benchmark::State& state)
+{
+    const auto ys = observations(1024);
+    for (auto _ : state) {
+        double lp = 0.0;
+        for (double y : ys)
+            lp += normal_lpdf(y, 0.3, 1.1);
+        benchmark::DoNotOptimize(lp);
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+void
+BM_NormalLpdfTaped(benchmark::State& state)
+{
+    const auto ys = observations(1024);
+    ad::Tape tape;
+    for (auto _ : state) {
+        tape.clear();
+        ad::Var mu = ad::leaf(tape, 0.3);
+        ad::Var sigma = ad::leaf(tape, 1.1);
+        ad::Var lp = 0.0;
+        for (double y : ys)
+            lp += normal_lpdf(y, mu, sigma);
+        std::vector<double> adj;
+        tape.gradient(lp.id(), adj);
+        benchmark::DoNotOptimize(adj.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+void
+BM_BernoulliLogitTaped(benchmark::State& state)
+{
+    ad::Tape tape;
+    for (auto _ : state) {
+        tape.clear();
+        ad::Var eta = ad::leaf(tape, 0.4);
+        ad::Var lp = 0.0;
+        for (int i = 0; i < 1024; ++i)
+            lp += bernoulli_logit_lpmf(i & 1, eta);
+        std::vector<double> adj;
+        tape.gradient(lp.id(), adj);
+        benchmark::DoNotOptimize(adj.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+void
+BM_PoissonLogTaped(benchmark::State& state)
+{
+    ad::Tape tape;
+    for (auto _ : state) {
+        tape.clear();
+        ad::Var eta = ad::leaf(tape, 1.2);
+        ad::Var lp = 0.0;
+        for (long i = 0; i < 1024; ++i)
+            lp += poisson_log_lpmf(i % 7, eta);
+        std::vector<double> adj;
+        tape.gradient(lp.id(), adj);
+        benchmark::DoNotOptimize(adj.data());
+    }
+    state.SetItemsProcessed(state.iterations() * 1024);
+}
+
+} // namespace
+
+BENCHMARK(BM_NormalLpdfDouble);
+BENCHMARK(BM_NormalLpdfTaped);
+BENCHMARK(BM_BernoulliLogitTaped);
+BENCHMARK(BM_PoissonLogTaped);

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Micro-bench — gradient-evaluation throughput per workload: wall time
+ * of one logProbGrad call and the implied tape-node rate. This is the
+ * sampler's inner loop; the architecture model's instruction counts are
+ * anchored to these node counts.
+ */
+#include <benchmark/benchmark.h>
+
+#include "ppl/evaluator.hpp"
+#include "samplers/runner.hpp"
+#include "workloads/suite.hpp"
+
+using namespace bayes;
+
+namespace {
+
+void
+BM_LogProbGrad(benchmark::State& state, const std::string& name)
+{
+    const auto wl = workloads::makeWorkload(name);
+    ppl::Evaluator eval(*wl);
+    Rng rng(7);
+    const auto q = samplers::findInitialPoint(eval, rng);
+    std::vector<double> grad;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(eval.logProbGrad(q, grad));
+    }
+    state.counters["tape_nodes"] =
+        static_cast<double>(eval.lastTapeNodes());
+    state.counters["nodes/s"] = benchmark::Counter(
+        static_cast<double>(eval.lastTapeNodes()),
+        benchmark::Counter::kIsIterationInvariantRate);
+}
+
+} // namespace
+
+BENCHMARK_CAPTURE(BM_LogProbGrad, twelvecities, std::string("12cities"));
+BENCHMARK_CAPTURE(BM_LogProbGrad, ad, std::string("ad"));
+BENCHMARK_CAPTURE(BM_LogProbGrad, ode, std::string("ode"));
+BENCHMARK_CAPTURE(BM_LogProbGrad, memory, std::string("memory"));
+BENCHMARK_CAPTURE(BM_LogProbGrad, votes, std::string("votes"));
+BENCHMARK_CAPTURE(BM_LogProbGrad, tickets, std::string("tickets"));
+BENCHMARK_CAPTURE(BM_LogProbGrad, disease, std::string("disease"));
+BENCHMARK_CAPTURE(BM_LogProbGrad, racial, std::string("racial"));
+BENCHMARK_CAPTURE(BM_LogProbGrad, butterfly, std::string("butterfly"));
+BENCHMARK_CAPTURE(BM_LogProbGrad, survival, std::string("survival"));

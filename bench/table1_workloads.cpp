@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Table I — a summary of BayesSuite workloads: model family,
+ * application, source, data, plus this implementation's dimensions and
+ * default run configuration.
+ */
+#include "common.hpp"
+#include "support/table.hpp"
+
+#include <cstdio>
+
+using namespace bayes;
+
+int
+main()
+{
+    std::printf("Table I: A summary of BayesSuite workloads\n");
+    Table table({"Name", "Model", "Application", "Reference", "Data",
+                 "dim", "data KB", "iters"});
+    for (const auto& wl : workloads::makeSuite()) {
+        const auto& info = wl->info();
+        table.row()
+            .cell(info.name)
+            .cell(info.modelFamily)
+            .cell(info.application)
+            .cell(info.source)
+            .cell(info.dataDescription)
+            .cell(static_cast<long>(wl->layout().dim()))
+            .cell(static_cast<double>(wl->modeledDataBytes()) / 1024.0, 1)
+            .cell(static_cast<long>(info.defaultIterations));
+    }
+    printSection("Table I — BayesSuite workloads", table);
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Table II — the experiment platforms, including the scaled cache
+ * geometry this reproduction simulates (see DESIGN.md §2).
+ */
+#include "archsim/platform.hpp"
+#include "support/table.hpp"
+
+#include <cstdio>
+
+using namespace bayes;
+using archsim::Platform;
+
+int
+main()
+{
+    Table table({"Codename", "Processor", "Microarch", "Tech(nm)",
+                 "TurboFreq(GHz)", "Cores", "LLC(MB)", "BW(GB/s)",
+                 "TDP(W)", "simLLC(KB)", "simL2(KB)", "simL1(KB)"});
+    for (const auto& p : {Platform::skylake(), Platform::broadwell()}) {
+        table.row()
+            .cell(p.name)
+            .cell(p.processor)
+            .cell(p.microarch)
+            .cell(static_cast<long>(p.techNm))
+            .cell(p.turboGhz, 1)
+            .cell(static_cast<long>(p.cores))
+            .cell(p.llcMb, 0)
+            .cell(p.memBandwidthGBps, 1)
+            .cell(p.tdpW, 0)
+            .cell(static_cast<double>(p.llc.sizeBytes) / 1024.0, 0)
+            .cell(static_cast<double>(p.l2.sizeBytes) / 1024.0, 0)
+            .cell(static_cast<double>(p.l1d.sizeBytes) / 1024.0, 0);
+    }
+    printSection("Table II — experiment platforms "
+                 "(sim* columns: capacities scaled by 1/8, DESIGN.md)",
+                 table);
+    return 0;
+}

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Domain end-to-end: fit the `votes` Gaussian-process workload and
+ * print the posterior vote-share forecast for future election cycles —
+ * the quantity the original StanCon model was built to produce —
+ * together with the derived answers of three other workloads
+ * (lives saved by speed limits, butterfly species richness, animal
+ * survival rates). Demonstrates the workloads/analyses API.
+ */
+#include <cstdio>
+
+#include "samplers/runner.hpp"
+#include "support/stats.hpp"
+#include "workloads/analyses.hpp"
+
+using namespace bayes;
+
+int
+main()
+{
+    // votes: forecast the latent vote-share path.
+    workloads::VotesForecast votes;
+    samplers::Config cfg;
+    cfg.chains = 4;
+    cfg.iterations = 800;
+    std::printf("Fitting the votes Gaussian process (%d x %d)...\n",
+                cfg.chains, cfg.iterations);
+    const auto votesRun = samplers::run(votes, cfg);
+    const auto path = workloads::forecastPath(votes, votesRun);
+    std::printf("\nPosterior mean vote-share path (logit scale):\n");
+    for (std::size_t i = 0; i < path.size(); ++i) {
+        const int year = 1976 + static_cast<int>(i) * 4;
+        std::printf("  %d: %+0.3f %s\n", year, path[i],
+                    i < votes.numObserved() ? "(observed)" : "(forecast)");
+    }
+
+    // 12cities: lives saved by lowering speed limits.
+    workloads::TwelveCities cities;
+    const auto citiesRun = samplers::run(cities, cfg);
+    const auto saved = workloads::livesSavedPercent(cities, citiesRun);
+    std::printf("\n12cities: lowering limits reduces pedestrian deaths "
+                "by %.1f%% [90%% CI %.1f%%, %.1f%%]\n",
+                mean(saved), quantile(saved, 0.05),
+                quantile(saved, 0.95));
+
+    // butterfly: expected species richness.
+    workloads::ButterflyRichness butterfly;
+    const auto butterflyRun = samplers::run(butterfly, cfg);
+    const auto richness =
+        workloads::expectedRichness(butterfly, butterflyRun);
+    std::printf("butterfly: expected species richness %.1f of %zu "
+                "candidates\n",
+                mean(richness), butterfly.numSpecies());
+
+    // survival: per-interval survival probability.
+    workloads::AnimalSurvival survival(0.5);
+    const auto survivalRun = samplers::run(survival, cfg);
+    const auto rates = workloads::survivalRates(survival, survivalRun);
+    std::printf("survival: mean inter-occasion survival %.2f "
+                "(first interval %.2f, last %.2f)\n",
+                mean(rates), rates.front(), rates.back());
+    return 0;
+}

@@ -1,0 +1,34 @@
+#include "ad/tape.hpp"
+
+#include <algorithm>
+
+namespace bayes::ad {
+
+void
+Tape::gradient(NodeId output, std::vector<double>& out)
+{
+    BAYES_CHECK(output < nodes_.size(), "gradient of unknown node");
+    adjoints_.assign(nodes_.size(), 0.0);
+    adjoints_[output] = 1.0;
+    for (NodeId i = output + 1; i-- > 0;) {
+        const double adj = adjoints_[i];
+        if (probe_)
+            probe_->access(&adjoints_[i], sizeof(double), false);
+        if (adj == 0.0)
+            continue;
+        const Node& node = nodes_[i];
+        if (probe_)
+            probe_->access(&node, sizeof(Node), false);
+        for (int k = 0; k < 2; ++k) {
+            const NodeId p = node.parent[k];
+            if (p == kNoParent)
+                continue;
+            adjoints_[p] += node.weight[k] * adj;
+            if (probe_)
+                probe_->access(&adjoints_[p], sizeof(double), true);
+        }
+    }
+    out.assign(adjoints_.begin(), adjoints_.end());
+}
+
+} // namespace bayes::ad

@@ -1,0 +1,312 @@
+/**
+ * @file
+ * Differentiable scalar type (Var) and its core arithmetic operators.
+ *
+ * A Var is a (tape pointer, value, node id) triple. Constants carry no
+ * node (id == kNoParent) and may have a null tape; mixing a constant
+ * with a taped Var adopts the taped operand's tape. Statistical
+ * functions (lgamma, erf, lpdfs, ...) live in the math library; this
+ * header only provides the arithmetic core so the layering stays
+ * ad <- math <- ppl.
+ */
+#pragma once
+
+#include <cmath>
+
+#include "ad/tape.hpp"
+
+namespace bayes::ad {
+
+/** A scalar tracked (or not) on an AD tape. */
+class Var
+{
+  public:
+    /** Constant zero, not on any tape. */
+    Var() : tape_(nullptr), value_(0.0), id_(kNoParent) {}
+
+    /** Implicit constant; participates in arithmetic without a tape. */
+    Var(double value) : tape_(nullptr), value_(value), id_(kNoParent) {}
+
+    /** Wrap an existing tape node. */
+    Var(Tape* tape, double value, NodeId id)
+        : tape_(tape), value_(value), id_(id)
+    {
+    }
+
+    /** Numeric value of this expression. */
+    double value() const { return value_; }
+
+    /** Tape node id, or kNoParent for constants. */
+    NodeId id() const { return id_; }
+
+    /** Owning tape, or nullptr for constants. */
+    Tape* tape() const { return tape_; }
+
+    /** True when this Var is recorded on a tape (not a constant). */
+    bool tracked() const { return id_ != kNoParent; }
+
+    Var& operator+=(const Var& other);
+    Var& operator-=(const Var& other);
+    Var& operator*=(const Var& other);
+    Var& operator/=(const Var& other);
+
+  private:
+    Tape* tape_;
+    double value_;
+    NodeId id_;
+};
+
+/** Create a differentiable leaf with the given value on @p tape. */
+inline Var
+leaf(Tape& tape, double value)
+{
+    return Var(&tape, value, tape.newLeaf());
+}
+
+namespace detail {
+
+/** Tape shared by the operands (nullptr if both are constants). */
+inline Tape*
+commonTape(const Var& a, const Var& b)
+{
+    if (a.tracked() && b.tracked()) {
+        BAYES_ASSERT(a.tape() == b.tape());
+        return a.tape();
+    }
+    return a.tracked() ? a.tape() : (b.tracked() ? b.tape() : nullptr);
+}
+
+/** Push a binary result; collapses to a constant when untracked. */
+inline Var
+binaryResult(const Var& a, const Var& b, double value, double da, double db,
+             OpClass cls)
+{
+    Tape* tape = commonTape(a, b);
+    if (!tape)
+        return Var(value);
+    NodeId id;
+    if (a.tracked() && b.tracked())
+        id = tape->pushBinary(a.id(), da, b.id(), db, cls);
+    else if (a.tracked())
+        id = tape->pushUnary(a.id(), da, cls);
+    else
+        id = tape->pushUnary(b.id(), db, cls);
+    return Var(tape, value, id);
+}
+
+/** Push a unary result; collapses to a constant when untracked. */
+inline Var
+unaryResult(const Var& a, double value, double da,
+            OpClass cls)
+{
+    if (!a.tracked())
+        return Var(value);
+    return Var(a.tape(), value, a.tape()->pushUnary(a.id(), da, cls));
+}
+
+} // namespace detail
+
+inline Var
+operator+(const Var& a, const Var& b)
+{
+    return detail::binaryResult(a, b, a.value() + b.value(), 1.0, 1.0,
+                                OpClass::AddSub);
+}
+
+inline Var
+operator-(const Var& a, const Var& b)
+{
+    return detail::binaryResult(a, b, a.value() - b.value(), 1.0, -1.0,
+                                OpClass::AddSub);
+}
+
+inline Var
+operator*(const Var& a, const Var& b)
+{
+    return detail::binaryResult(a, b, a.value() * b.value(),
+                                b.value(), a.value(), OpClass::Mul);
+}
+
+inline Var
+operator/(const Var& a, const Var& b)
+{
+    const double inv = 1.0 / b.value();
+    return detail::binaryResult(a, b, a.value() * inv, inv,
+                                -a.value() * inv * inv, OpClass::Div);
+}
+
+inline Var
+operator-(const Var& a)
+{
+    return detail::unaryResult(a, -a.value(), -1.0, OpClass::AddSub);
+}
+
+inline Var
+operator+(const Var& a)
+{
+    return a;
+}
+
+inline Var&
+Var::operator+=(const Var& other)
+{
+    *this = *this + other;
+    return *this;
+}
+
+inline Var&
+Var::operator-=(const Var& other)
+{
+    *this = *this - other;
+    return *this;
+}
+
+inline Var&
+Var::operator*=(const Var& other)
+{
+    *this = *this * other;
+    return *this;
+}
+
+inline Var&
+Var::operator/=(const Var& other)
+{
+    *this = *this / other;
+    return *this;
+}
+
+inline bool operator<(const Var& a, const Var& b)
+{
+    return a.value() < b.value();
+}
+inline bool operator>(const Var& a, const Var& b)
+{
+    return a.value() > b.value();
+}
+inline bool operator<=(const Var& a, const Var& b)
+{
+    return a.value() <= b.value();
+}
+inline bool operator>=(const Var& a, const Var& b)
+{
+    return a.value() >= b.value();
+}
+
+inline Var
+exp(const Var& a)
+{
+    const double v = std::exp(a.value());
+    return detail::unaryResult(a, v, v, OpClass::Special);
+}
+
+inline Var
+log(const Var& a)
+{
+    return detail::unaryResult(a, std::log(a.value()), 1.0 / a.value(),
+                               OpClass::Special);
+}
+
+inline Var
+log1p(const Var& a)
+{
+    return detail::unaryResult(a, std::log1p(a.value()),
+                               1.0 / (1.0 + a.value()), OpClass::Special);
+}
+
+inline Var
+sqrt(const Var& a)
+{
+    const double v = std::sqrt(a.value());
+    return detail::unaryResult(a, v, 0.5 / v, OpClass::Div);
+}
+
+/** x*x with a single tape node. */
+inline Var
+square(const Var& a)
+{
+    return detail::unaryResult(a, a.value() * a.value(), 2.0 * a.value(),
+                               OpClass::Mul);
+}
+
+inline Var
+sin(const Var& a)
+{
+    return detail::unaryResult(a, std::sin(a.value()), std::cos(a.value()),
+                               OpClass::Special);
+}
+
+inline Var
+cos(const Var& a)
+{
+    return detail::unaryResult(a, std::cos(a.value()), -std::sin(a.value()),
+                               OpClass::Special);
+}
+
+inline Var
+tanh(const Var& a)
+{
+    const double v = std::tanh(a.value());
+    return detail::unaryResult(a, v, 1.0 - v * v, OpClass::Special);
+}
+
+inline Var
+atan(const Var& a)
+{
+    return detail::unaryResult(a, std::atan(a.value()),
+                               1.0 / (1.0 + a.value() * a.value()),
+                               OpClass::Special);
+}
+
+inline Var
+fabs(const Var& a)
+{
+    // Subgradient 0 at the kink, matching Stan's convention.
+    const double d = a.value() > 0 ? 1.0 : (a.value() < 0 ? -1.0 : 0.0);
+    return detail::unaryResult(a, std::fabs(a.value()), d, OpClass::AddSub);
+}
+
+inline Var
+pow(const Var& a, double p)
+{
+    const double v = std::pow(a.value(), p);
+    return detail::unaryResult(a, v, p * std::pow(a.value(), p - 1.0),
+                               OpClass::Special);
+}
+
+inline Var
+pow(const Var& a, const Var& b)
+{
+    const double v = std::pow(a.value(), b.value());
+    const double da = b.value() * std::pow(a.value(), b.value() - 1.0);
+    const double db = a.value() > 0 ? v * std::log(a.value()) : 0.0;
+    return detail::binaryResult(a, b, v, da, db, OpClass::Special);
+}
+
+/** Value-based max with subgradient routed to the winner. */
+inline Var
+fmax(const Var& a, const Var& b)
+{
+    return a.value() >= b.value() ? a : b;
+}
+
+/** Value-based min with subgradient routed to the winner. */
+inline Var
+fmin(const Var& a, const Var& b)
+{
+    return a.value() <= b.value() ? a : b;
+}
+
+/** Plain-double value extraction; overloads with Var::value for templates. */
+inline double
+value(const Var& a)
+{
+    return a.value();
+}
+
+inline double
+value(double a)
+{
+    return a;
+}
+
+} // namespace bayes::ad

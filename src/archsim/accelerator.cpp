@@ -1,0 +1,106 @@
+#include "archsim/accelerator.hpp"
+
+#include <algorithm>
+
+#include "support/error.hpp"
+
+namespace bayes::archsim {
+
+AcceleratorSpec
+AcceleratorSpec::simdSfu()
+{
+    AcceleratorSpec spec;
+    spec.name = "SIMD+SFU";
+    spec.clockGhz = 1.2;
+    spec.lanes = 64;
+    spec.sfus = 16;
+    spec.sfuCyclesPerOp = 2.0;
+    spec.divCyclesPerOp = 4.0;
+    spec.serialFraction = 0.04;
+    spec.scratchpadKb = 1024.0;
+    spec.dramBWGBps = 120.0;
+    return spec;
+}
+
+AcceleratorSpec
+AcceleratorSpec::simdOnly()
+{
+    AcceleratorSpec spec = simdSfu();
+    spec.name = "SIMD-only";
+    spec.sfus = 0; // transcendentals expand to ~20 lane ops
+    return spec;
+}
+
+AcceleratorSpec
+AcceleratorSpec::gpuLike()
+{
+    AcceleratorSpec spec;
+    spec.name = "GPU-like";
+    spec.clockGhz = 1.4;
+    spec.lanes = 1024;
+    spec.sfus = 128;
+    spec.sfuCyclesPerOp = 1.0;
+    spec.divCyclesPerOp = 2.0;
+    // Kernel-launch / divergence overheads on short NUTS evaluations.
+    spec.serialFraction = 0.15;
+    spec.scratchpadKb = 4096.0;
+    spec.dramBWGBps = 600.0;
+    return spec;
+}
+
+AcceleratorEstimate
+estimateAccelerator(const EvalProfile& profile,
+                    const AcceleratorSpec& spec, double cpuSecondsPerEval)
+{
+    BAYES_CHECK(spec.lanes >= 1, "accelerator needs at least one lane");
+    BAYES_CHECK(cpuSecondsPerEval > 0, "reference CPU time must be > 0");
+    const auto& ops = profile.opCounts;
+    const double addMul =
+        static_cast<double>(ops[static_cast<int>(ad::OpClass::AddSub)]
+                            + ops[static_cast<int>(ad::OpClass::Mul)]);
+    const double div =
+        static_cast<double>(ops[static_cast<int>(ad::OpClass::Div)]);
+    const double special =
+        static_cast<double>(ops[static_cast<int>(ad::OpClass::Special)]);
+    const double total = std::max(1.0, addMul + div + special);
+
+    // Forward + reverse: both sweeps stream over the same ops. Lane
+    // throughput bounds arithmetic; SFUs (if present) bound
+    // transcendentals, otherwise they expand to ~20 lane ops each.
+    const double lanes = static_cast<double>(spec.lanes);
+    double computeCycles =
+        2.0 * addMul / lanes + 2.0 * div * spec.divCyclesPerOp / lanes;
+    if (spec.sfus > 0) {
+        computeCycles += 2.0 * special * spec.sfuCyclesPerOp
+            / static_cast<double>(spec.sfus);
+    } else {
+        computeCycles += 2.0 * special * 20.0 / lanes;
+    }
+
+    // Amdahl: sampler bookkeeping and the reverse sweep's dependency
+    // spine do not vectorize.
+    const double serialCycles = spec.serialFraction * 2.0 * total;
+    double cycles = computeCycles + serialCycles;
+
+    // Bandwidth bound when the working set cannot live in scratchpad.
+    const double workingSetBytes =
+        static_cast<double>(profile.tapeNodes) * 32.0
+        + static_cast<double>(profile.dataBytes);
+    AcceleratorEstimate est;
+    if (workingSetBytes > spec.scratchpadKb * 1024.0) {
+        const double bytesStreamed = 2.0 * workingSetBytes; // fwd + rev
+        const double bwSeconds = bytesStreamed / (spec.dramBWGBps * 1e9);
+        const double bwCycles = bwSeconds * spec.clockGhz * 1e9;
+        if (bwCycles > cycles) {
+            cycles = bwCycles;
+            est.bandwidthBound = true;
+        }
+    }
+
+    est.cyclesPerEval = cycles;
+    est.secondsPerEval = cycles / (spec.clockGhz * 1e9);
+    est.speedupVsCpu = cpuSecondsPerEval / est.secondsPerEval;
+    return est;
+}
+
+} // namespace bayes::archsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * First-order accelerator models for the paper's §VII "implications for
+ * future acceleration" analysis. The paper argues a programmable SIMD
+ * architecture augmented with special-function units (SFUs) matches
+ * Bayesian inference best: chains give coarse-grained parallelism, the
+ * per-observation likelihood terms give fine-grained data parallelism,
+ * and the dominant transcendental ops (erf for Gaussian, atan for
+ * Cauchy CDFs) want dedicated units with scratchpad-resident tables.
+ *
+ * The model is deliberately analytic (no trace replay): given a
+ * workload's op-mix profile, it estimates a lower-bound cycle count
+ * from lane-limited throughput per op class, an Amdahl term for the
+ * non-parallelizable sampler bookkeeping, and a DRAM-bandwidth bound
+ * for the working set streamed per evaluation.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "archsim/core.hpp"
+#include "archsim/profiler.hpp"
+
+namespace bayes::archsim {
+
+/** Parameters of a candidate accelerator. */
+struct AcceleratorSpec
+{
+    std::string name;
+    double clockGhz = 1.0;
+    /** Parallel FP lanes (SIMD width x units). */
+    int lanes = 64;
+    /** Special-function units (erf/atan/exp lookup pipelines). */
+    int sfus = 8;
+    /** Cycles per special op on an SFU (pipelined initiation interval). */
+    double sfuCyclesPerOp = 2.0;
+    /** Cycles per divide on a lane. */
+    double divCyclesPerOp = 4.0;
+    /** Fraction of work that is inherently serial (tree bookkeeping,
+     *  momentum updates, reverse-sweep dependency chains). */
+    double serialFraction = 0.04;
+    /** Scratchpad capacity; working sets beyond it stream from DRAM. */
+    double scratchpadKb = 512.0;
+    double dramBWGBps = 100.0;
+
+    /** The paper's recommended SIMD + SFU design point. */
+    static AcceleratorSpec simdSfu();
+
+    /** SIMD without special-function units (transcendentals in lanes). */
+    static AcceleratorSpec simdOnly();
+
+    /** GPU-like: very wide, high bandwidth, higher serial overhead. */
+    static AcceleratorSpec gpuLike();
+};
+
+/** Estimated accelerator performance on one workload profile. */
+struct AcceleratorEstimate
+{
+    double cyclesPerEval = 0;
+    double secondsPerEval = 0;
+    /** Whether DRAM bandwidth (not compute) bounds the evaluation. */
+    bool bandwidthBound = false;
+    /** Speedup over a reference CPU per-evaluation time. */
+    double speedupVsCpu = 0;
+};
+
+/**
+ * Estimate @p spec's per-evaluation time on @p profile.
+ * @param cpuSecondsPerEval  reference CPU time for the same evaluation
+ *        (from the core model), used for the speedup ratio
+ */
+AcceleratorEstimate estimateAccelerator(const EvalProfile& profile,
+                                        const AcceleratorSpec& spec,
+                                        double cpuSecondsPerEval);
+
+} // namespace bayes::archsim

@@ -1,0 +1,97 @@
+#include "archsim/cache.hpp"
+
+#include "support/error.hpp"
+
+namespace bayes::archsim {
+namespace {
+
+bool
+isPowerOfTwo(std::uint64_t x)
+{
+    return x && (x & (x - 1)) == 0;
+}
+
+} // namespace
+
+CacheModel::CacheModel(const CacheConfig& config) : config_(config)
+{
+    BAYES_CHECK(isPowerOfTwo(config.lineBytes), "line size must be 2^k");
+    BAYES_CHECK(config.ways >= 1, "cache needs at least one way");
+    const std::uint64_t lineCount = config.sizeBytes / config.lineBytes;
+    BAYES_CHECK(lineCount >= config.ways,
+                "cache smaller than one set (" << config.sizeBytes << "B, "
+                << config.ways << " ways)");
+    BAYES_CHECK(lineCount % config.ways == 0,
+                "size must be a multiple of ways * lineBytes");
+    numSets_ = static_cast<std::uint32_t>(lineCount / config.ways);
+    BAYES_CHECK(isPowerOfTwo(numSets_), "set count must be 2^k");
+    lines_.assign(static_cast<std::size_t>(numSets_) * config.ways, Line{});
+}
+
+bool
+CacheModel::access(std::uint64_t lineAddr, bool write)
+{
+    ++stats_.accesses;
+    ++clock_;
+    const std::uint64_t lineNum = lineAddr / config_.lineBytes;
+    const std::uint32_t set =
+        static_cast<std::uint32_t>(lineNum & (numSets_ - 1));
+    const std::uint64_t tag = lineNum / numSets_;
+    Line* base = &lines_[static_cast<std::size_t>(set) * config_.ways];
+
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        Line& line = base[w];
+        if (line.valid && line.tag == tag) {
+            if (config_.replacement == Replacement::Lru)
+                line.lru = clock_; // FIFO keeps the fill stamp
+            line.dirty = line.dirty || write;
+            return true;
+        }
+    }
+
+    ++stats_.misses;
+    // Victim: an invalid way if any, else per the replacement policy.
+    Line* victim = nullptr;
+    for (std::uint32_t w = 0; w < config_.ways; ++w) {
+        if (!base[w].valid) {
+            victim = &base[w];
+            break;
+        }
+    }
+    if (!victim) {
+        switch (config_.replacement) {
+          case Replacement::Lru:
+          case Replacement::Fifo:
+            // For FIFO, lru holds the fill time (never refreshed on
+            // hits), so the same minimum scan picks the oldest fill.
+            victim = base;
+            for (std::uint32_t w = 1; w < config_.ways; ++w)
+                if (base[w].lru < victim->lru)
+                    victim = &base[w];
+            break;
+          case Replacement::Random:
+            // 16-bit Galois LFSR: deterministic pseudo-random victim.
+            lfsr_ = (lfsr_ >> 1) ^ (-(lfsr_ & 1u) & 0xb400u);
+            victim = &base[lfsr_ % config_.ways];
+            break;
+        }
+    }
+    if (victim->valid && victim->dirty)
+        ++stats_.writebacks;
+    victim->valid = true;
+    victim->dirty = write;
+    victim->tag = tag;
+    victim->lru = clock_;
+    return false;
+}
+
+void
+CacheModel::flush()
+{
+    for (auto& line : lines_)
+        line = Line{};
+    stats_ = CacheStats{};
+    clock_ = 0;
+}
+
+} // namespace bayes::archsim

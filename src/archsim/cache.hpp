@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Set-associative cache model with LRU replacement and write-back,
+ * write-allocate semantics. The unit is the building block of the
+ * simulated memory hierarchies that stand in for the paper's Skylake
+ * and Broadwell measurement platforms (DESIGN.md §2).
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace bayes::archsim {
+
+/** Replacement policy of a cache level. */
+enum class Replacement : std::uint8_t
+{
+    Lru,    ///< least recently used (default; Intel-like)
+    Fifo,   ///< evict oldest fill
+    Random, ///< pseudo-random victim (deterministic LFSR)
+};
+
+/** Geometry of one cache level. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 32 * 1024;
+    std::uint32_t lineBytes = 64;
+    std::uint32_t ways = 8;
+    Replacement replacement = Replacement::Lru;
+};
+
+/** Hit/miss counters of one cache level. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t writebacks = 0;
+
+    /** misses / accesses, 0 when idle. */
+    double
+    missRate() const
+    {
+        return accesses ? static_cast<double>(misses)
+                / static_cast<double>(accesses)
+                        : 0.0;
+    }
+};
+
+/** One set-associative write-back cache. */
+class CacheModel
+{
+  public:
+    explicit CacheModel(const CacheConfig& config);
+
+    /**
+     * Access one already-line-aligned address.
+     * @param lineAddr  byte address of the line (low bits ignored)
+     * @param write     store (marks the line dirty)
+     * @return true on hit
+     */
+    bool access(std::uint64_t lineAddr, bool write);
+
+    /** Counters since construction or the last resetStats(). */
+    const CacheStats& stats() const { return stats_; }
+
+    /** Zero the counters, keeping cache contents warm. */
+    void resetStats() { stats_ = CacheStats{}; }
+
+    /** Invalidate all contents and zero the counters. */
+    void flush();
+
+    /** Configured geometry. */
+    const CacheConfig& config() const { return config_; }
+
+    /** Number of sets. */
+    std::uint32_t numSets() const { return numSets_; }
+
+  private:
+    struct Line
+    {
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0; ///< last-access stamp
+        bool valid = false;
+        bool dirty = false;
+    };
+
+    CacheConfig config_;
+    std::uint32_t numSets_;
+    std::uint64_t clock_ = 0;
+    std::uint32_t lfsr_ = 0xace1u; ///< random-replacement state
+    std::vector<Line> lines_; ///< [set * ways + way]
+    CacheStats stats_;
+};
+
+} // namespace bayes::archsim

@@ -1,0 +1,75 @@
+#include "archsim/core.hpp"
+
+namespace bayes::archsim {
+
+EvalCost
+evalCost(const EvalProfile& profile, const EvalMemStats& mem,
+         const Platform& platform, const CoreParams& params)
+{
+    EvalCost cost;
+    const double nodes = static_cast<double>(profile.tapeNodes);
+    const auto& ops = profile.opCounts;
+    const double addOps =
+        static_cast<double>(ops[static_cast<int>(ad::OpClass::AddSub)]);
+    const double mulOps =
+        static_cast<double>(ops[static_cast<int>(ad::OpClass::Mul)]);
+    const double divOps =
+        static_cast<double>(ops[static_cast<int>(ad::OpClass::Div)]);
+    const double specialOps =
+        static_cast<double>(ops[static_cast<int>(ad::OpClass::Special)]);
+
+    cost.instructions = nodes
+            * (params.instrPerNodeForward + params.instrPerNodeReverse)
+        + static_cast<double>(profile.dataBytes) * params.instrPerDataByte;
+
+    double cycles = cost.instructions * params.baseCpi
+        + divOps * params.divExtraCycles
+        + specialOps * params.specialExtraCycles
+        // Dot-product/Cholesky style mul+add chains fuse into FMAs.
+        - std::min(addOps, mulOps) * params.fmaFusionCycles;
+
+    // Demand memory penalties plus the (small) cost of covered streams.
+    cycles += mem.demandL2Hits * params.l2HitPenalty
+        + mem.demandLlcHits * params.llcHitPenalty
+        + mem.demandLlcMisses
+            * (platform.memLatencyCycles() * params.memOverlap)
+        + mem.streamAccesses * params.streamAccessCycles;
+
+    // Branch behavior: the interpreter loop itself predicts nearly
+    // perfectly; data-dependent transcendental range reduction and
+    // divide special-casing contribute the mispredictions.
+    const double nonLeaf = std::max(1.0, nodes);
+    const double specialFrac = specialOps / nonLeaf;
+    const double divFrac = divOps / nonLeaf;
+    cost.branchMpki = 0.35 + 2.4 * specialFrac + 0.8 * divFrac;
+    cycles += cost.branchMpki / 1000.0 * cost.instructions
+        * params.mispredictPenalty;
+
+    // i-cache: straight-line generated model code scales with the
+    // likelihood loop body (Stan's generated C++ is the paper's stated
+    // culprit for `tickets`).
+    const double footprint =
+        params.icacheFootprintBase + params.icacheBytesPerNode * nodes;
+    const double icap = static_cast<double>(platform.l1i.sizeBytes);
+    cost.icacheMpki = footprint <= icap
+        ? 0.06
+        : std::min(params.icacheMissCeiling,
+                   20.0 * (1.0 - icap / footprint));
+    cycles += cost.icacheMpki / 1000.0 * cost.instructions
+        * params.icacheMissPenalty;
+
+    cost.cycles = cycles;
+
+    const double effectiveLlcMisses = mem.demandLlcMisses
+        + params.prefetchLateFraction * mem.streamLlcMisses;
+    cost.llcMpki = std::max(
+        params.llcMpkiFloor,
+        effectiveLlcMisses / cost.instructions * 1000.0);
+    cost.llcTrafficBytes =
+        (mem.demandLlcMisses + mem.streamLlcMisses + mem.writebacks
+         + params.coldTrafficFraction * mem.accesses)
+        * 64.0;
+    return cost;
+}
+
+} // namespace bayes::archsim

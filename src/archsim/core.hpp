@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Analytic core timing model. Converts a chain's per-evaluation op-mix
+ * profile plus the cache simulator's per-evaluation miss counts into
+ * instructions, cycles, IPC, and the ancillary front-end metrics
+ * (branch and i-cache MPKI) reported in the paper's Fig. 1.
+ *
+ * The instruction model charges fixed costs per tape node for the
+ * forward build and the reverse sweep; the cycle model starts from a
+ * base CPI (the out-of-order core's throughput on the mul/add-heavy
+ * interpreter loop) and adds issue-latency surcharges for divides and
+ * transcendentals plus memory penalties per miss level. All constants
+ * live in CoreParams so ablation benches can sweep them.
+ */
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "archsim/platform.hpp"
+#include "archsim/profiler.hpp"
+
+namespace bayes::archsim {
+
+/** Tunable constants of the core model. */
+struct CoreParams
+{
+    double instrPerNodeForward = 9.0;
+    double instrPerNodeReverse = 6.0;
+    double instrPerDataByte = 0.15;   ///< likelihood data streaming
+    double instrPerDimPerIter = 160.0; ///< momentum refresh, u-turn checks
+
+    double baseCpi = 0.30;
+    double divExtraCycles = 9.0;
+    double specialExtraCycles = 24.0;
+    /** Cycles saved per fusable mul+add pair (FMA issue fusion). */
+    double fmaFusionCycles = 0.55;
+
+    /** Model the hardware stream prefetcher (ablation knob). */
+    bool prefetchEnabled = true;
+
+    double l2HitPenalty = 10.0;   ///< cycles per demand L1 miss hitting L2
+    double llcHitPenalty = 26.0;  ///< cycles per demand L2 miss hitting LLC
+    double memOverlap = 0.5;      ///< fraction of DRAM latency exposed
+    double streamAccessCycles = 0.45; ///< cycles per prefetch-covered access
+
+    double branchPerInstr = 0.13;
+    double mispredictPenalty = 15.0;
+    /** Late/inaccurate prefetch fraction counted as demand LLC misses. */
+    double prefetchLateFraction = 0.08;
+    /** Cold/conflict traffic floor as a fraction of accesses. */
+    double coldTrafficFraction = 0.002;
+    /** LLC MPKI floor from sporadic cold and conflict misses. */
+    double llcMpkiFloor = 0.05;
+
+    /** i-cache model: hot generated-model code footprint per tape node. */
+    double icacheFootprintBase = 2500.0;
+    double icacheBytesPerNode = 0.12;
+    double icacheMissCeiling = 16.0;
+    double icacheMissPenalty = 20.0;
+};
+
+/** Per-evaluation memory behavior measured by the cache replay. */
+struct EvalMemStats
+{
+    double accesses = 0;       ///< total accesses per evaluation
+    double streamAccesses = 0; ///< accesses covered by the prefetcher
+    double demandL2Hits = 0;   ///< demand L1 misses that hit L2
+    double demandLlcHits = 0;  ///< demand L2 misses that hit LLC
+    double demandLlcMisses = 0;///< demand misses to DRAM
+    double streamLlcMisses = 0;///< prefetch fetches from DRAM
+    double writebacks = 0;     ///< dirty LLC evictions
+};
+
+/** Timing/metrics of one chain on one platform. */
+struct EvalCost
+{
+    double instructions = 0;
+    double cycles = 0;
+    double llcMpki = 0;
+    double icacheMpki = 0;
+    double branchMpki = 0;
+    double llcTrafficBytes = 0; ///< fetches + writebacks per evaluation
+
+    double ipc() const { return cycles > 0 ? instructions / cycles : 0.0; }
+};
+
+/**
+ * Combine an op-mix profile and measured memory behavior into a
+ * per-evaluation cost.
+ */
+EvalCost evalCost(const EvalProfile& profile, const EvalMemStats& mem,
+                  const Platform& platform,
+                  const CoreParams& params = CoreParams{});
+
+} // namespace bayes::archsim

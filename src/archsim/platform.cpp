@@ -1,0 +1,71 @@
+#include "archsim/platform.hpp"
+
+namespace bayes::archsim {
+namespace {
+
+/**
+ * Scale a capacity and snap it to ways * 64B * 2^k so the set count
+ * stays a power of two.
+ */
+std::uint64_t
+scaleCapacity(std::uint64_t bytes, std::uint32_t ways)
+{
+    const auto scaled =
+        static_cast<std::uint64_t>(static_cast<double>(bytes)
+                                   * kCapacityScale);
+    const std::uint64_t setBytes = static_cast<std::uint64_t>(ways) * 64;
+    std::uint64_t sets = 1;
+    while (sets * 2 * setBytes <= scaled)
+        sets *= 2;
+    return sets * setBytes;
+}
+
+} // namespace
+
+Platform
+Platform::skylake()
+{
+    Platform p;
+    p.name = "Skylake";
+    p.processor = "i7-6700K";
+    p.microarch = "Skylake";
+    p.techNm = 14;
+    p.turboGhz = 4.2;
+    p.cores = 4;
+    p.llcMb = 8.0;
+    p.memBandwidthGBps = 34.1;
+    p.tdpW = 91.0;
+    p.l1i = {scaleCapacity(32ull * 1024, 4), 64, 4};
+    p.l1d = {scaleCapacity(32ull * 1024, 4), 64, 4};
+    p.l2 = {scaleCapacity(256ull * 1024, 4), 64, 4};
+    p.llc = {scaleCapacity(8ull * 1024 * 1024, 16), 64, 16};
+    p.memLatencyNs = 70.0;
+    p.idlePowerW = 18.0;
+    p.corePowerW = 16.5; // ~= (TDP - idle) / cores at full load
+    return p;
+}
+
+Platform
+Platform::broadwell()
+{
+    Platform p;
+    p.name = "Broadwell";
+    p.processor = "E5-2697A v4";
+    p.microarch = "Broadwell"; // Table II lists the Haswell-derived core
+    p.techNm = 14;
+    p.turboGhz = 3.6;
+    p.cores = 16;
+    p.llcMb = 40.0;
+    p.memBandwidthGBps = 78.8;
+    p.tdpW = 145.0;
+    p.l1i = {scaleCapacity(32ull * 1024, 4), 64, 4};
+    p.l1d = {scaleCapacity(32ull * 1024, 4), 64, 4};
+    p.l2 = {scaleCapacity(256ull * 1024, 4), 64, 4};
+    p.llc = {scaleCapacity(40ull * 1024 * 1024, 20), 64, 20};
+    p.memLatencyNs = 80.0; // server uncore adds latency
+    p.idlePowerW = 42.0;
+    p.corePowerW = 6.4; // ~= (TDP - idle) / 16 at full load
+    return p;
+}
+
+} // namespace bayes::archsim

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Simulated server platforms matching the paper's Table II.
+ *
+ * Capacity scaling: the samplers in this reproduction run on reduced
+ * synthetic datasets, so working sets are roughly 1/8 of the Stan
+ * originals. To preserve the working-set-to-LLC ratios that drive every
+ * result in the paper, all cache capacities are scaled by the same 1/8
+ * (Skylake 8 MB -> 1 MB, Broadwell 40 MB -> 5 MB, L1/L2 likewise).
+ * Frequencies, latencies, TDP and core counts are unscaled.
+ */
+#pragma once
+
+#include <string>
+
+#include "archsim/cache.hpp"
+
+namespace bayes::archsim {
+
+/** Working-set / cache capacity scale factor (see file comment). */
+inline constexpr double kCapacityScale = 1.0 / 8.0;
+
+/** One experiment platform (Table II row). */
+struct Platform
+{
+    std::string name;          ///< "Skylake" or "Broadwell"
+    std::string processor;     ///< retail processor number
+    std::string microarch;
+    int techNm = 14;
+    double turboGhz = 4.0;     ///< peak frequency
+    int cores = 4;             ///< physical cores
+    double llcMb = 8.0;        ///< unscaled LLC capacity (Table II)
+    double memBandwidthGBps = 34.1;
+    double tdpW = 91.0;
+
+    CacheConfig l1i;           ///< scaled per-core instruction cache
+    CacheConfig l1d;           ///< scaled per-core data cache
+    CacheConfig l2;            ///< scaled per-core unified L2
+    CacheConfig llc;           ///< scaled shared last-level cache
+
+    double memLatencyNs = 70.0;   ///< DRAM access latency
+    double idlePowerW = 0.0;      ///< package power at idle
+    double corePowerW = 0.0;      ///< incremental power per active core
+
+    /** DRAM latency in core cycles at turbo. */
+    double memLatencyCycles() const { return memLatencyNs * turboGhz; }
+
+    /** Paper's Skylake desktop part (i7-6700K). */
+    static Platform skylake();
+
+    /** Paper's Broadwell server part (E5-2697A v4). */
+    static Platform broadwell();
+};
+
+} // namespace bayes::archsim

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Whole-system simulation: replays per-chain memory traces through a
+ * platform's cache hierarchy (private L1/L2 per core, shared LLC),
+ * combines the measured miss behavior with the core timing model, and
+ * reconstructs end-to-end job latency from the chains' real measured
+ * work (gradient evaluations per chain). Multicore latency is the
+ * slowest chain's — the paper's §VI observation — because chains carry
+ * genuinely different NUTS trajectory lengths.
+ */
+#pragma once
+
+#include <vector>
+
+#include "archsim/core.hpp"
+#include "archsim/platform.hpp"
+#include "archsim/profiler.hpp"
+#include "samplers/types.hpp"
+
+namespace bayes::archsim {
+
+/** Work actually performed by a run (extracted from sampler results). */
+struct RunWork
+{
+    /** Total gradient evaluations per chain, warmup included. */
+    std::vector<std::uint64_t> chainGradEvals;
+    /** Iterations executed per chain (for per-iteration overheads). */
+    std::vector<std::uint64_t> chainIterations;
+};
+
+/** Pull the per-chain work counters out of a sampler run. */
+RunWork extractRunWork(const samplers::RunResult& run);
+
+/** End-to-end simulation result for one (workload, platform, cores). */
+struct SystemResult
+{
+    double seconds = 0;        ///< job latency (slowest core)
+    double ipc = 0;            ///< work-weighted mean chain IPC
+    double llcMpki = 0;        ///< demand LLC misses per kilo-instruction
+    double icacheMpki = 0;
+    double branchMpki = 0;
+    double bandwidthMBps = 0;  ///< mean off-chip traffic while running
+    double powerW = 0;         ///< package power while running
+    double energyJ = 0;        ///< powerW * seconds
+    std::vector<double> chainSeconds; ///< per-chain compute time
+};
+
+/**
+ * Simulate a run on a platform using @p cores cores.
+ * @param profile  per-chain steady-state profiles (profileWorkload)
+ * @param work     measured per-chain work (extractRunWork)
+ * @param platform target platform
+ * @param cores    cores used (1 .. platform.cores)
+ */
+SystemResult simulateSystem(const WorkloadProfile& profile,
+                            const RunWork& work, const Platform& platform,
+                            int cores,
+                            const CoreParams& params = CoreParams{});
+
+} // namespace bayes::archsim

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Memory-trace capture. TraceCapture implements the AD tape's MemProbe
+ * interface: while attached, every tape node push, every reverse-sweep
+ * adjoint access, and the evaluator's observed-data stream are recorded
+ * as (address, size, is-write) events. One gradient evaluation's trace
+ * is the repeating unit of a chain's memory behavior (each leapfrog
+ * step replays the same pattern over the same arena), so replaying it
+ * through the cache model reproduces a chain's steady-state traffic.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ad/tape.hpp"
+
+namespace bayes::archsim {
+
+/** One recorded memory access. */
+struct Access
+{
+    std::uint64_t addr;
+    std::uint32_t bytes;
+    bool write;
+};
+
+/** MemProbe that appends every access to a bounded in-memory trace. */
+class TraceCapture : public ad::MemProbe
+{
+  public:
+    /** @param maxAccesses  hard cap to bound memory use */
+    explicit TraceCapture(std::size_t maxAccesses = 4'000'000)
+        : max_(maxAccesses)
+    {
+        trace_.reserve(4096);
+    }
+
+    void
+    access(const void* addr, std::size_t bytes, bool write) override
+    {
+        if (trace_.size() >= max_) {
+            truncated_ = true;
+            return;
+        }
+        trace_.push_back(
+            Access{reinterpret_cast<std::uint64_t>(addr),
+                   static_cast<std::uint32_t>(bytes), write});
+    }
+
+    /** Recorded accesses in program order. */
+    const std::vector<Access>& trace() const { return trace_; }
+
+    /** True when the cap was hit and events were dropped. */
+    bool truncated() const { return truncated_; }
+
+    /** Drop all recorded events. */
+    void
+    clear()
+    {
+        trace_.clear();
+        truncated_ = false;
+    }
+
+  private:
+    std::vector<Access> trace_;
+    std::size_t max_;
+    bool truncated_ = false;
+};
+
+} // namespace bayes::archsim

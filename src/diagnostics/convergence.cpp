@@ -1,0 +1,203 @@
+#include "diagnostics/convergence.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+#include "math/special.hpp"
+#include "support/stats.hpp"
+
+namespace bayes::diagnostics {
+namespace {
+
+/** R-hat over already-split chain segments. */
+double
+rhatOfSegments(const std::vector<std::vector<double>>& segs)
+{
+    const std::size_t m = segs.size();
+    const std::size_t n = segs[0].size();
+
+    std::vector<double> segMeans(m);
+    std::vector<double> segVars(m);
+    for (std::size_t j = 0; j < m; ++j) {
+        BAYES_ASSERT(segs[j].size() == n);
+        segMeans[j] = mean(segs[j]);
+        segVars[j] = variance(segs[j]);
+    }
+
+    const double grand = mean(segMeans);
+    double b = 0.0;
+    for (double sm : segMeans)
+        b += (sm - grand) * (sm - grand);
+    b *= static_cast<double>(n) / static_cast<double>(m - 1);
+
+    const double w = mean(segVars);
+    if (w <= 0.0) {
+        // All segments internally constant: converged if the means
+        // agree too, otherwise maximally unconverged.
+        return b <= 0.0 ? 1.0 : std::numeric_limits<double>::infinity();
+    }
+    const double nd = static_cast<double>(n);
+    const double varPlus = (nd - 1.0) / nd * w + b / nd;
+    return std::sqrt(varPlus / w);
+}
+
+} // namespace
+
+double
+splitRhat(const std::vector<std::vector<double>>& chains)
+{
+    BAYES_CHECK(!chains.empty(), "splitRhat requires at least one chain");
+    const std::size_t len = chains[0].size();
+    BAYES_CHECK(len >= 4, "splitRhat requires at least 4 draws per chain");
+
+    const std::size_t half = len / 2;
+    std::vector<std::vector<double>> segs;
+    segs.reserve(chains.size() * 2);
+    for (const auto& chain : chains) {
+        BAYES_CHECK(chain.size() == len, "chains must have equal length");
+        segs.emplace_back(chain.begin(), chain.begin() + half);
+        segs.emplace_back(chain.end() - half, chain.end());
+    }
+    return rhatOfSegments(segs);
+}
+
+double
+maxSplitRhat(const std::vector<std::vector<std::vector<double>>>& coordDraws)
+{
+    BAYES_CHECK(!coordDraws.empty(), "no coordinates");
+    double worst = 1.0;
+    for (const auto& chains : coordDraws)
+        worst = std::max(worst, splitRhat(chains));
+    return worst;
+}
+
+double
+rankNormalizedRhat(const std::vector<std::vector<double>>& chains)
+{
+    BAYES_CHECK(!chains.empty(), "rankNormalizedRhat needs chains");
+    const std::size_t m = chains.size();
+    const std::size_t n = chains[0].size();
+    BAYES_CHECK(n >= 4, "need at least 4 draws per chain");
+
+    // Pool, rank (average ties implicitly via stable ordering), and map
+    // fractional ranks through the standard normal quantile.
+    std::vector<std::pair<double, std::size_t>> pooled;
+    pooled.reserve(m * n);
+    for (std::size_t c = 0; c < m; ++c) {
+        BAYES_CHECK(chains[c].size() == n, "chains must match in length");
+        for (std::size_t t = 0; t < n; ++t)
+            pooled.emplace_back(chains[c][t], c * n + t);
+    }
+    std::sort(pooled.begin(), pooled.end());
+    std::vector<double> z(m * n);
+    const double total = static_cast<double>(m * n);
+    for (std::size_t r = 0; r < pooled.size(); ++r) {
+        // Blom-style offset keeps the quantile away from 0 and 1.
+        const double frac =
+            (static_cast<double>(r) + 1.0 - 0.375) / (total + 0.25);
+        z[pooled[r].second] = math::stdNormalQuantile(frac);
+    }
+
+    std::vector<std::vector<double>> transformed(m,
+                                                 std::vector<double>(n));
+    for (std::size_t c = 0; c < m; ++c)
+        for (std::size_t t = 0; t < n; ++t)
+            transformed[c][t] = z[c * n + t];
+    return splitRhat(transformed);
+}
+
+double
+effectiveSampleSize(const std::vector<std::vector<double>>& chains)
+{
+    BAYES_CHECK(!chains.empty(), "ess requires at least one chain");
+    const std::size_t m = chains.size();
+    const std::size_t n = chains[0].size();
+    BAYES_CHECK(n >= 4, "ess requires at least 4 draws per chain");
+
+    // Per-chain autocovariances (biased, divisor n, as in Stan).
+    std::vector<double> chainMeans(m);
+    std::vector<double> chainVars(m);
+    for (std::size_t j = 0; j < m; ++j) {
+        BAYES_CHECK(chains[j].size() == n, "chains must have equal length");
+        chainMeans[j] = mean(chains[j]);
+        chainVars[j] = variance(chains[j]);
+    }
+    const double w = mean(chainVars);
+    if (w <= 0.0)
+        return static_cast<double>(m * n);
+
+    double b = 0.0;
+    if (m > 1) {
+        const double grand = mean(chainMeans);
+        for (double cm : chainMeans)
+            b += (cm - grand) * (cm - grand);
+        b /= static_cast<double>(m - 1);
+    }
+    const double nd = static_cast<double>(n);
+    const double varPlus = (nd - 1.0) / nd * w + b;
+
+    auto autocov = [&](std::size_t chain, std::size_t lag) {
+        double s = 0.0;
+        for (std::size_t t = lag; t < n; ++t) {
+            s += (chains[chain][t] - chainMeans[chain])
+                * (chains[chain][t - lag] - chainMeans[chain]);
+        }
+        return s / nd;
+    };
+
+    // Combined-chain autocorrelation, Geyer initial monotone sequence.
+    double tauSum = 0.0;
+    double prevPair = std::numeric_limits<double>::infinity();
+    for (std::size_t lag = 1; lag + 1 < n; lag += 2) {
+        double rhoEven = 0.0;
+        double rhoOdd = 0.0;
+        for (std::size_t j = 0; j < m; ++j) {
+            rhoEven += autocov(j, lag);
+            rhoOdd += autocov(j, lag + 1);
+        }
+        rhoEven = 1.0 - (w - rhoEven / static_cast<double>(m)) / varPlus;
+        rhoOdd = 1.0 - (w - rhoOdd / static_cast<double>(m)) / varPlus;
+        double pair = rhoEven + rhoOdd;
+        if (pair < 0.0)
+            break;
+        pair = std::min(pair, prevPair); // enforce monotone decrease
+        prevPair = pair;
+        tauSum += pair;
+        if (lag > 3 * static_cast<std::size_t>(std::sqrt(nd) + 1) * 8)
+            break; // safety cutoff for pathological samples
+    }
+    const double tau = 1.0 + 2.0 * tauSum;
+    const double ess = static_cast<double>(m) * nd / std::max(tau, 1e-12);
+    return std::min(ess, static_cast<double>(m * n));
+}
+
+double
+gaussianKl1d(double mean1, double sd1, double mean2, double sd2)
+{
+    BAYES_CHECK(sd1 > 0.0 && sd2 > 0.0, "KL requires positive scales");
+    const double r = sd1 / sd2;
+    const double d = (mean1 - mean2) / sd2;
+    return std::log(sd2 / sd1) + 0.5 * (r * r + d * d) - 0.5;
+}
+
+double
+gaussianKl(const std::vector<std::vector<double>>& p,
+           const std::vector<std::vector<double>>& q)
+{
+    BAYES_CHECK(!p.empty() && p.size() == q.size(),
+                "KL requires matching coordinate counts");
+    double total = 0.0;
+    for (std::size_t i = 0; i < p.size(); ++i) {
+        const double m1 = mean(p[i]);
+        const double m2 = mean(q[i]);
+        // Floor the scales so point-mass coordinates stay finite.
+        const double s1 = std::max(stddev(p[i]), 1e-12);
+        const double s2 = std::max(stddev(q[i]), 1e-12);
+        total += gaussianKl1d(m1, s1, m2, s2);
+    }
+    return total / static_cast<double>(p.size());
+}
+
+} // namespace bayes::diagnostics

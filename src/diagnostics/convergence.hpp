@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Convergence diagnostics: the Gelman-Rubin potential scale reduction
+ * factor (R-hat, split form), autocorrelation-based effective sample
+ * size, and the moment-matched Gaussian KL divergence the paper uses as
+ * its result-quality metric (§VI-A).
+ */
+#pragma once
+
+#include <vector>
+
+namespace bayes::diagnostics {
+
+/**
+ * Split Gelman-Rubin R-hat for one scalar quantity.
+ *
+ * Each chain is split in half (so intra-chain drift registers as
+ * between-"chain" variance), then the classic
+ * sqrt(((n-1)/n W + B/n) / W) statistic is computed.
+ *
+ * @param chains  per-chain draws of one coordinate; all chains must
+ *                have equal length >= 4
+ * @return R-hat (>= ~1; 1 means converged). Returns +inf when the
+ *         within variance is zero but means differ, and 1 when all
+ *         draws are identical.
+ */
+double splitRhat(const std::vector<std::vector<double>>& chains);
+
+/**
+ * Maximum split R-hat across all coordinates of a multi-chain run.
+ * @param coordDraws  [coordinate][chain][draw]
+ */
+double
+maxSplitRhat(const std::vector<std::vector<std::vector<double>>>& coordDraws);
+
+/**
+ * Rank-normalized split R-hat (Vehtari, Gelman, Simpson, Carpenter &
+ * Buerkner 2021): draws are replaced by the normal quantiles of their
+ * pooled fractional ranks before the split R-hat computation, making
+ * the diagnostic robust to heavy tails and nonlinear scale. Always
+ * >= ~1; agrees with splitRhat on well-behaved Gaussians.
+ */
+double rankNormalizedRhat(const std::vector<std::vector<double>>& chains);
+
+/**
+ * Effective sample size of one scalar quantity across chains, using
+ * Geyer's initial-monotone-positive-sequence truncation of the
+ * combined-chain autocorrelation (the estimator family Stan uses).
+ */
+double effectiveSampleSize(const std::vector<std::vector<double>>& chains);
+
+/**
+ * KL divergence KL(P || Q) between two diagonal moment-matched
+ * Gaussians fitted to samples of a d-dimensional posterior, averaged
+ * over dimensions. This is the paper's result-quality measure: small
+ * values mean the intermediate posterior matches the ground truth.
+ *
+ * @param p  [coordinate][sample] for the candidate posterior
+ * @param q  [coordinate][sample] for the reference (ground truth)
+ */
+double gaussianKl(const std::vector<std::vector<double>>& p,
+                  const std::vector<std::vector<double>>& q);
+
+/** KL divergence between two univariate Gaussians N(m1,s1^2)||N(m2,s2^2). */
+double gaussianKl1d(double mean1, double sd1, double mean2, double sd2);
+
+} // namespace bayes::diagnostics

@@ -1,0 +1,116 @@
+#include "diagnostics/summary.hpp"
+
+#include <algorithm>
+
+#include "diagnostics/convergence.hpp"
+#include "support/error.hpp"
+#include "support/stats.hpp"
+
+namespace bayes::diagnostics {
+
+double
+PosteriorSummary::maxRhat() const
+{
+    double worst = 1.0;
+    for (const auto& c : coords)
+        worst = std::max(worst, c.rhat);
+    return worst;
+}
+
+double
+PosteriorSummary::minEss() const
+{
+    BAYES_CHECK(!coords.empty(), "empty summary");
+    double best = coords[0].ess;
+    for (const auto& c : coords)
+        best = std::min(best, c.ess);
+    return best;
+}
+
+Table
+PosteriorSummary::table() const
+{
+    Table t({"param", "mean", "sd", "5%", "50%", "95%", "Rhat", "ESS"});
+    for (const auto& c : coords) {
+        t.row()
+            .cell(c.name)
+            .cell(c.mean, 4)
+            .cell(c.sd, 4)
+            .cell(c.q05, 4)
+            .cell(c.median, 4)
+            .cell(c.q95, 4)
+            .cell(c.rhat, 3)
+            .cell(c.ess, 0);
+    }
+    return t;
+}
+
+PosteriorSummary
+summarize(const samplers::RunResult& run, const ppl::ParamLayout& layout)
+{
+    BAYES_CHECK(!run.chains.empty() && !run.chains[0].draws.empty(),
+                "cannot summarize an empty run");
+    PosteriorSummary out;
+    out.coords.reserve(layout.dim());
+    for (std::size_t i = 0; i < layout.dim(); ++i) {
+        const auto chains = run.coordinate(i);
+        const auto pooled = pooledCoordinate(run, i);
+        CoordinateSummary c;
+        c.name = layout.coordName(i);
+        c.mean = mean(pooled);
+        c.sd = pooled.size() >= 2 ? stddev(pooled) : 0.0;
+        c.q05 = quantile(pooled, 0.05);
+        c.median = quantile(pooled, 0.50);
+        c.q95 = quantile(pooled, 0.95);
+        c.rhat = chains[0].size() >= 4 ? splitRhat(chains) : INFINITY;
+        c.ess = chains[0].size() >= 4 ? effectiveSampleSize(chains) : 0.0;
+        out.coords.push_back(std::move(c));
+    }
+    return out;
+}
+
+std::vector<double>
+pooledCoordinate(const samplers::RunResult& run, std::size_t i)
+{
+    std::vector<double> out;
+    for (const auto& chain : run.chains)
+        for (const auto& draw : chain.draws)
+            out.push_back(draw.at(i));
+    return out;
+}
+
+std::vector<std::vector<double>>
+recentWindow(const samplers::RunResult& run, std::size_t i,
+             double keepFraction)
+{
+    BAYES_CHECK(keepFraction > 0.0 && keepFraction <= 1.0,
+                "keepFraction must be in (0,1]");
+    std::vector<std::vector<double>> out;
+    out.reserve(run.chains.size());
+    for (const auto& chain : run.chains) {
+        const std::size_t n = chain.draws.size();
+        const std::size_t keep = std::max<std::size_t>(
+            4, static_cast<std::size_t>(keepFraction * n));
+        const std::size_t start = n > keep ? n - keep : 0;
+        std::vector<double> xs;
+        xs.reserve(n - start);
+        for (std::size_t t = start; t < n; ++t)
+            xs.push_back(chain.draws[t].at(i));
+        out.push_back(std::move(xs));
+    }
+    return out;
+}
+
+double
+runMaxRhat(const samplers::RunResult& run)
+{
+    BAYES_CHECK(!run.chains.empty() && !run.chains[0].draws.empty(),
+                "empty run");
+    const std::size_t dim = run.chains[0].draws[0].size();
+    double worst = 1.0;
+    for (std::size_t i = 0; i < dim; ++i)
+        worst = std::max(worst, splitRhat(run.coordinate(i)));
+    return worst;
+}
+
+} // namespace bayes::diagnostics

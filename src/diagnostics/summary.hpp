@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Posterior summaries over multi-chain runs: per-coordinate moments,
+ * quantiles, R-hat and ESS, plus helpers for pooling draws and for the
+ * "second half of samples" windows the convergence study uses.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ppl/model.hpp"
+#include "samplers/types.hpp"
+#include "support/table.hpp"
+
+namespace bayes::diagnostics {
+
+/** Summary of one posterior coordinate. */
+struct CoordinateSummary
+{
+    std::string name;
+    double mean;
+    double sd;
+    double q05;
+    double median;
+    double q95;
+    double rhat;
+    double ess;
+};
+
+/** Full posterior summary of a run. */
+struct PosteriorSummary
+{
+    std::vector<CoordinateSummary> coords;
+
+    /** Largest R-hat across coordinates. */
+    double maxRhat() const;
+
+    /** Smallest ESS across coordinates. */
+    double minEss() const;
+
+    /** Render as an aligned table. */
+    Table table() const;
+};
+
+/** Summarize every coordinate of a run against the model's layout. */
+PosteriorSummary summarize(const samplers::RunResult& run,
+                           const ppl::ParamLayout& layout);
+
+/** All post-warmup draws of coordinate @p i pooled across chains. */
+std::vector<double> pooledCoordinate(const samplers::RunResult& run,
+                                     std::size_t i);
+
+/**
+ * Per-chain draws of coordinate @p i restricted to the last
+ * @p keepFraction of each chain (the paper infers from the second half
+ * of samples, keepFraction = 0.5).
+ */
+std::vector<std::vector<double>>
+recentWindow(const samplers::RunResult& run, std::size_t i,
+             double keepFraction);
+
+/** Max split R-hat over all coordinates of a run (whole chains). */
+double runMaxRhat(const samplers::RunResult& run);
+
+} // namespace bayes::diagnostics

@@ -1,0 +1,172 @@
+#include "dse/explorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "diagnostics/convergence.hpp"
+#include "diagnostics/summary.hpp"
+#include "samplers/runner.hpp"
+
+namespace bayes::dse {
+namespace {
+
+/** Pool draws per coordinate: [coordinate][sample]. */
+std::vector<std::vector<double>>
+pooledByCoordinate(const samplers::RunResult& run)
+{
+    BAYES_CHECK(!run.chains.empty() && !run.chains[0].draws.empty(),
+                "empty run");
+    const std::size_t dim = run.chains[0].draws[0].size();
+    std::vector<std::vector<double>> out(dim);
+    for (std::size_t i = 0; i < dim; ++i)
+        out[i] = diagnostics::pooledCoordinate(run, i);
+    return out;
+}
+
+} // namespace
+
+double
+DseResult::elisionEnergySaving() const
+{
+    return 1.0 - bestElision().energyJ / user.energyJ;
+}
+
+double
+DseResult::oracleEnergySaving() const
+{
+    return 1.0 - oracle.energyJ / user.energyJ;
+}
+
+const DesignPoint&
+DseResult::bestElision() const
+{
+    BAYES_CHECK(!elision.empty(), "no elision points");
+    const DesignPoint* best = &elision.front();
+    for (const auto& p : elision)
+        if (p.energyJ < best->energyJ)
+            best = &p;
+    return *best;
+}
+
+DseResult
+explore(const workloads::Workload& workload,
+        const archsim::Platform& platform, const DseConfig& config)
+{
+    BAYES_CHECK(!config.coreCounts.empty() && !config.chainCounts.empty()
+                    && !config.iterFractions.empty(),
+                "empty exploration grid");
+    DseResult result;
+    result.workload = workload.name();
+    result.platform = platform.name;
+
+    const int userChains = workload.info().defaultChains;
+    const int userIters = workload.info().defaultIterations;
+
+    // Ground truth: the user configuration with twice the iterations.
+    samplers::Config gtCfg;
+    gtCfg.chains = userChains;
+    gtCfg.iterations = userIters * 2;
+    gtCfg.seed = config.seed ^ 0x5157u;
+    const auto groundTruth =
+        pooledByCoordinate(samplers::run(workload, gtCfg));
+
+    // Profiles per chain count (memory behavior depends on residency).
+    std::vector<archsim::WorkloadProfile> profiles(
+        *std::max_element(config.chainCounts.begin(),
+                          config.chainCounts.end())
+        + 1);
+    auto profileFor = [&](int chains) -> const archsim::WorkloadProfile& {
+        auto& slot = profiles[chains];
+        if (slot.chains.empty())
+            slot = archsim::profileWorkload(workload, chains);
+        return slot;
+    };
+
+    auto evaluate = [&](const samplers::RunResult& run, int chains,
+                        int cores, int iterations, bool elided,
+                        std::string label) {
+        const auto work = archsim::extractRunWork(run);
+        const auto sim = archsim::simulateSystem(profileFor(chains), work,
+                                                 platform, cores);
+        DesignPoint p;
+        p.label = std::move(label);
+        p.cores = cores;
+        p.chains = chains;
+        p.iterations = iterations;
+        p.elided = elided;
+        p.seconds = sim.seconds;
+        p.energyJ = sim.energyJ;
+        p.kl = diagnostics::gaussianKl(pooledByCoordinate(run), groundTruth);
+        return p;
+    };
+
+    // The user setting itself, on all platform cores (up to 4).
+    const int userCores =
+        std::min(4, std::min(platform.cores, userChains));
+    samplers::Config userCfg;
+    userCfg.chains = userChains;
+    userCfg.iterations = userIters;
+    userCfg.seed = config.seed;
+    const auto userRun = samplers::run(workload, userCfg);
+    result.user =
+        evaluate(userRun, userChains, userCores, userIters, false, "user");
+    result.user.qualityOk = true;
+    const double klGate =
+        std::max(config.klFloor, config.klFactor * result.user.kl);
+
+    // Grid: (chains, iteration fraction) sampling runs x core counts.
+    for (int chains : config.chainCounts) {
+        for (double frac : config.iterFractions) {
+            const int iters = std::max(
+                40, static_cast<int>(std::lround(frac * userIters)));
+            samplers::Config cfg;
+            cfg.chains = chains;
+            cfg.iterations = iters;
+            cfg.seed = config.seed + chains * 1000 + iters;
+            const auto run = samplers::run(workload, cfg);
+            for (int cores : config.coreCounts) {
+                if (cores > platform.cores)
+                    continue;
+                auto p = evaluate(
+                    run, chains, cores, iters, false,
+                    std::to_string(chains) + "ch-"
+                        + std::to_string(
+                            static_cast<int>(std::lround(frac * 100)))
+                        + "%-" + std::to_string(cores) + "c");
+                p.qualityOk = p.kl <= klGate;
+                result.grid.push_back(std::move(p));
+            }
+        }
+    }
+
+    // Elision-achievable points: 4 chains + runtime detection.
+    samplers::Config cdCfg;
+    cdCfg.chains = userChains;
+    cdCfg.iterations = userIters;
+    cdCfg.seed = config.seed;
+    const auto elided = elide::runWithElision(workload, cdCfg);
+    const int elidedIters = elided.executedIterations;
+    for (int cores : config.coreCounts) {
+        if (cores > platform.cores)
+            continue;
+        auto p = evaluate(elided.run, userChains, cores, elidedIters, true,
+                          "cd-" + std::to_string(cores) + "c");
+        p.qualityOk = p.kl <= klGate;
+        result.elision.push_back(std::move(p));
+    }
+
+    // Energy oracle: cheapest quality-passing point anywhere.
+    const DesignPoint* oracle = &result.user;
+    auto consider = [&](const DesignPoint& p) {
+        if (p.qualityOk && p.energyJ < oracle->energyJ)
+            oracle = &p;
+    };
+    for (const auto& p : result.grid)
+        consider(p);
+    for (const auto& p : result.elision)
+        consider(p);
+    result.oracle = *oracle;
+    return result;
+}
+
+} // namespace bayes::dse

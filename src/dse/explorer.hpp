@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Design-space exploration over {cores x chains x iterations} with an
+ * inference-quality gate (paper §VI-B).
+ *
+ * Every candidate's result quality is scored as the KL divergence of
+ * its posterior against a ground truth obtained by running the
+ * user-configured job with twice the iterations (the paper's own
+ * procedure). Latency and energy come from the architecture model. The
+ * energy oracle is the cheapest quality-passing point; the
+ * elision-achievable points are those reachable without knowing the
+ * ground truth (4 chains + runtime convergence detection, any core
+ * count).
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "archsim/system.hpp"
+#include "elide/elision.hpp"
+#include "workloads/workload.hpp"
+
+namespace bayes::dse {
+
+/** One evaluated design point. */
+struct DesignPoint
+{
+    std::string label;   ///< e.g. "user", "cd-2c", "2ch-50%"
+    int cores = 0;
+    int chains = 0;
+    int iterations = 0;  ///< total iterations actually executed
+    bool elided = false; ///< reached via runtime convergence detection
+    double seconds = 0;
+    double energyJ = 0;
+    double kl = 0;       ///< quality vs ground truth (lower = better)
+    bool qualityOk = false;
+};
+
+/** Exploration policy. */
+struct DseConfig
+{
+    std::vector<int> coreCounts = {1, 2, 4};
+    std::vector<int> chainCounts = {1, 2, 4};
+    /** Iteration budgets explored, as fractions of the user setting. */
+    std::vector<double> iterFractions = {0.3, 0.6, 1.0};
+    /**
+     * Quality gate: kl <= max(klFloor, klFactor * user-setting KL).
+     * The user setting itself always passes.
+     */
+    double klFloor = 0.10;
+    double klFactor = 3.0;
+    /** Seed for all exploration runs. */
+    std::uint64_t seed = 20190331;
+};
+
+/** Full exploration output for one workload on one platform. */
+struct DseResult
+{
+    std::string workload;
+    std::string platform;
+    DesignPoint user;                   ///< original user setting, 4 cores
+    std::vector<DesignPoint> grid;      ///< all grid points
+    std::vector<DesignPoint> elision;   ///< detection-achievable points
+    DesignPoint oracle;                 ///< min-energy quality-passing
+
+    /** Energy saving of the best elision point over the user setting. */
+    double elisionEnergySaving() const;
+
+    /** Energy saving of the oracle over the user setting. */
+    double oracleEnergySaving() const;
+
+    /** The lowest-energy elision point. */
+    const DesignPoint& bestElision() const;
+};
+
+/**
+ * Explore the design space of @p workload on @p platform.
+ * Runs real sampling per (chains, iterations) candidate and scores
+ * every core count against the architecture model.
+ */
+DseResult explore(const workloads::Workload& workload,
+                  const archsim::Platform& platform,
+                  const DseConfig& config = DseConfig{});
+
+} // namespace bayes::dse

@@ -1,0 +1,95 @@
+#include "elide/elision.hpp"
+
+#include <algorithm>
+
+#include "diagnostics/convergence.hpp"
+#include "samplers/runner.hpp"
+#include "support/timer.hpp"
+
+namespace bayes::elide {
+
+double
+ElisionResult::elidedFraction() const
+{
+    if (!converged || budgetIterations == 0)
+        return 0.0;
+    return 1.0
+        - static_cast<double>(executedIterations)
+        / static_cast<double>(budgetIterations);
+}
+
+double
+detectorRhat(const std::vector<samplers::ChainResult>& chains,
+             int drawsSoFar, double windowFraction)
+{
+    BAYES_CHECK(!chains.empty(), "no chains");
+    BAYES_CHECK(drawsSoFar >= 4, "too few draws for R-hat");
+    const std::size_t keep = std::max<std::size_t>(
+        4, static_cast<std::size_t>(windowFraction * drawsSoFar));
+    const std::size_t start =
+        static_cast<std::size_t>(drawsSoFar) > keep
+        ? static_cast<std::size_t>(drawsSoFar) - keep
+        : 0;
+
+    const std::size_t dim = chains[0].draws[0].size();
+    double worst = 1.0;
+    std::vector<std::vector<double>> window(chains.size());
+    for (std::size_t i = 0; i < dim; ++i) {
+        for (std::size_t c = 0; c < chains.size(); ++c) {
+            auto& xs = window[c];
+            xs.clear();
+            for (std::size_t t = start;
+                 t < static_cast<std::size_t>(drawsSoFar); ++t)
+                xs.push_back(chains[c].draws[t][i]);
+        }
+        worst = std::max(worst, diagnostics::splitRhat(window));
+        if (!(worst < INFINITY))
+            break;
+    }
+    return worst;
+}
+
+ElisionResult
+runWithElision(const ppl::Model& model, const samplers::Config& config,
+               const ElisionConfig& elision)
+{
+    BAYES_CHECK(config.chains >= 2,
+                "convergence detection needs at least two chains");
+    // Elided schedule: short fixed adaptation, detection thereafter.
+    samplers::Config elidedCfg = config;
+    elidedCfg.warmup =
+        std::min(config.resolvedWarmup(), elision.adaptationIters);
+
+    ElisionResult result;
+    result.budgetDraws = elidedCfg.postWarmup();
+    result.budgetIterations = config.iterations;
+
+    samplers::IterationMonitor monitor =
+        [&](int drawsSoFar, const std::vector<samplers::ChainResult>& chains)
+        -> bool {
+        if (drawsSoFar < elision.minDraws
+            || drawsSoFar % elision.checkInterval != 0)
+            return false;
+        Timer timer;
+        const double rhat =
+            detectorRhat(chains, drawsSoFar, elision.windowFraction);
+        result.detectorSeconds += timer.seconds();
+        result.rhatTrace.push_back(RhatSample{drawsSoFar, rhat});
+        if (rhat < elision.rhatThreshold) {
+            result.converged = true;
+            result.stoppedAtDraw = drawsSoFar;
+            return true;
+        }
+        return false;
+    };
+
+    result.run = samplers::run(model, elidedCfg, monitor);
+    if (!result.converged)
+        result.stoppedAtDraw =
+            static_cast<int>(result.run.chains[0].draws.size());
+    result.executedIterations =
+        static_cast<int>(result.run.chains[0].iterStats.size());
+    return result;
+}
+
+} // namespace bayes::elide

@@ -1,0 +1,81 @@
+#include "io/csv.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bayes {
+
+void
+writeDrawsCsv(std::ostream& out, const samplers::RunResult& run,
+              const ppl::ParamLayout& layout)
+{
+    out << "chain,draw";
+    for (std::size_t i = 0; i < layout.dim(); ++i)
+        out << ',' << layout.coordName(i);
+    out << '\n';
+    out.precision(17);
+    for (std::size_t c = 0; c < run.chains.size(); ++c) {
+        const auto& chain = run.chains[c];
+        for (std::size_t t = 0; t < chain.draws.size(); ++t) {
+            out << c << ',' << t;
+            BAYES_CHECK(chain.draws[t].size() == layout.dim(),
+                        "draw/layout dimension mismatch");
+            for (double x : chain.draws[t])
+                out << ',' << x;
+            out << '\n';
+        }
+    }
+}
+
+void
+writeDrawsCsv(const std::string& path, const samplers::RunResult& run,
+              const ppl::ParamLayout& layout)
+{
+    std::ofstream out(path);
+    BAYES_CHECK(out.good(), "cannot open '" << path << "' for writing");
+    writeDrawsCsv(out, run, layout);
+    BAYES_CHECK(out.good(), "write to '" << path << "' failed");
+}
+
+std::vector<std::vector<std::vector<double>>>
+readDrawsCsv(std::istream& in)
+{
+    std::string line;
+    BAYES_CHECK(static_cast<bool>(std::getline(in, line)),
+                "empty draws CSV");
+    // Count coordinate columns from the header.
+    std::size_t columns = 1;
+    for (char ch : line)
+        columns += ch == ',';
+    BAYES_CHECK(columns >= 3, "draws CSV needs chain,draw,coords...");
+    const std::size_t dim = columns - 2;
+
+    std::vector<std::vector<std::vector<double>>> chains;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        std::istringstream row(line);
+        std::string cell;
+        BAYES_CHECK(static_cast<bool>(std::getline(row, cell, ',')),
+                    "missing chain column");
+        const std::size_t chain = std::stoul(cell);
+        BAYES_CHECK(static_cast<bool>(std::getline(row, cell, ',')),
+                    "missing draw column");
+        if (chain >= chains.size())
+            chains.resize(chain + 1);
+        std::vector<double> draw;
+        draw.reserve(dim);
+        while (std::getline(row, cell, ','))
+            draw.push_back(std::stod(cell));
+        BAYES_CHECK(draw.size() == dim,
+                    "row has " << draw.size() << " coords, expected "
+                    << dim);
+        chains[chain].push_back(std::move(draw));
+    }
+    BAYES_CHECK(!chains.empty(), "draws CSV has no data rows");
+    return chains;
+}
+
+} // namespace bayes

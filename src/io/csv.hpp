@@ -1,0 +1,35 @@
+/**
+ * @file
+ * CSV export/import of posterior draws, so runs can be analyzed or
+ * plotted with external tooling (R, pandas, ...). Format: a header of
+ * `chain,draw,<coordName...>` followed by one row per (chain, draw).
+ */
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ppl/model.hpp"
+#include "samplers/types.hpp"
+
+namespace bayes {
+
+/** Write a run's post-warmup draws as CSV to @p out. */
+void writeDrawsCsv(std::ostream& out, const samplers::RunResult& run,
+                   const ppl::ParamLayout& layout);
+
+/** Write a run's draws to @p path. @throws Error on I/O failure */
+void writeDrawsCsv(const std::string& path,
+                   const samplers::RunResult& run,
+                   const ppl::ParamLayout& layout);
+
+/**
+ * Read draws written by writeDrawsCsv back into per-chain storage.
+ * @return [chain][draw][coordinate]
+ * @throws Error on malformed input
+ */
+std::vector<std::vector<std::vector<double>>>
+readDrawsCsv(std::istream& in);
+
+} // namespace bayes

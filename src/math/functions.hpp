@@ -1,0 +1,160 @@
+/**
+ * @file
+ * Differentiable (Var) overloads of the special functions plus the
+ * scalar-type promotion machinery used by the templated distribution
+ * library. Model code written against these functions runs unchanged on
+ * plain doubles (value-only evaluation) and on ad::Var (gradient
+ * evaluation), the same trick Stan's math library uses.
+ */
+#pragma once
+
+#include <type_traits>
+
+#include "ad/var.hpp"
+#include "math/special.hpp"
+
+namespace bayes::math {
+
+using ad::Var;
+
+/** promote_t<Ts...> is Var if any T is Var, else double. */
+template <typename... Ts>
+struct Promote
+{
+    using type =
+        std::conditional_t<(std::is_same_v<std::decay_t<Ts>, Var> || ...),
+                           Var, double>;
+};
+
+template <typename... Ts>
+using promote_t = typename Promote<Ts...>::type;
+
+/** Extract the numeric value from a double or a Var (templated code). */
+inline double
+valueOf(double x)
+{
+    return x;
+}
+
+inline double
+valueOf(const Var& x)
+{
+    return x.value();
+}
+
+// ---------------------------------------------------------------------
+// double passthroughs, so templated code can call unqualified names.
+// ---------------------------------------------------------------------
+
+inline double square(double x) { return x * x; }
+
+// ---------------------------------------------------------------------
+// Var overloads with analytic derivatives.
+// ---------------------------------------------------------------------
+
+/** log Gamma with d/dx = digamma(x). */
+inline Var
+lgamma(const Var& x)
+{
+    return ad::detail::unaryResult(x, std::lgamma(x.value()),
+                                   digamma(x.value()),
+                                   ad::OpClass::Special);
+}
+
+inline double
+lgamma(double x)
+{
+    return std::lgamma(x);
+}
+
+/** Error function with d/dx = 2/sqrt(pi) exp(-x^2). */
+inline Var
+erf(const Var& x)
+{
+    const double d = 2.0 * M_2_SQRTPI * 0.5 * std::exp(-x.value() * x.value());
+    return ad::detail::unaryResult(x, std::erf(x.value()), d,
+                                   ad::OpClass::Special);
+}
+
+inline double
+erf(double x)
+{
+    return std::erf(x);
+}
+
+/** Complementary error function. */
+inline Var
+erfc(const Var& x)
+{
+    const double d =
+        -2.0 * M_2_SQRTPI * 0.5 * std::exp(-x.value() * x.value());
+    return ad::detail::unaryResult(x, std::erfc(x.value()), d,
+                                   ad::OpClass::Special);
+}
+
+inline double
+erfc(double x)
+{
+    return std::erfc(x);
+}
+
+/** Standard normal CDF with d/dx = phi(x). */
+inline Var
+stdNormalCdf(const Var& x)
+{
+    const double d = std::exp(stdNormalLpdf(x.value()));
+    return ad::detail::unaryResult(x, math::stdNormalCdf(x.value()), d,
+                                   ad::OpClass::Special);
+}
+
+/** Softplus log(1 + exp(x)); derivative is the logistic sigmoid. */
+inline Var
+log1pExp(const Var& x)
+{
+    return ad::detail::unaryResult(x, math::log1pExp(x.value()),
+                                   math::invLogit(x.value()),
+                                   ad::OpClass::Special);
+}
+
+/** Logistic sigmoid; derivative s(x)(1 - s(x)). */
+inline Var
+invLogit(const Var& x)
+{
+    const double s = math::invLogit(x.value());
+    return ad::detail::unaryResult(x, s, s * (1.0 - s),
+                                   ad::OpClass::Special);
+}
+
+/** expm1 with derivative exp(x). */
+inline Var
+expm1(const Var& x)
+{
+    return ad::detail::unaryResult(x, std::expm1(x.value()),
+                                   std::exp(x.value()),
+                                   ad::OpClass::Special);
+}
+
+inline double
+expm1(double x)
+{
+    return std::expm1(x);
+}
+
+/** Numerically stable log(exp(a) + exp(b)) for differentiable operands. */
+template <typename TA, typename TB>
+promote_t<TA, TB>
+logSumExp(const TA& a, const TB& b)
+{
+    using T = promote_t<TA, TB>;
+    using std::exp;
+    using std::log;
+    using ad::exp;
+    using ad::log;
+    const T ta = a;
+    const T tb = b;
+    if (valueOf(a) > valueOf(b))
+        return ta + log1pExp(tb - ta);
+    return tb + log1pExp(ta - tb);
+}
+
+} // namespace bayes::math

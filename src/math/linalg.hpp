@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Minimal dense linear algebra, templated over the scalar type so the
+ * same routines serve value evaluation (double) and gradient evaluation
+ * (ad::Var). Sized for the Gaussian-process and hierarchical workloads
+ * (tens to a few hundred dimensions), not for BLAS-scale problems.
+ */
+#pragma once
+
+#include <vector>
+
+#include "math/functions.hpp"
+#include "support/error.hpp"
+
+namespace bayes::math {
+
+/** Dense row-major matrix over scalar type T. */
+template <typename T>
+class Matrix
+{
+  public:
+    Matrix() : rows_(0), cols_(0) {}
+
+    /** Zero-initialized rows x cols matrix. */
+    Matrix(std::size_t rows, std::size_t cols)
+        : rows_(rows), cols_(cols), data_(rows * cols, T(0.0))
+    {
+    }
+
+    std::size_t rows() const { return rows_; }
+    std::size_t cols() const { return cols_; }
+
+    T& operator()(std::size_t r, std::size_t c)
+    {
+        BAYES_ASSERT(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    const T& operator()(std::size_t r, std::size_t c) const
+    {
+        BAYES_ASSERT(r < rows_ && c < cols_);
+        return data_[r * cols_ + c];
+    }
+
+    /** Contiguous storage (row-major). */
+    const std::vector<T>& data() const { return data_; }
+    std::vector<T>& data() { return data_; }
+
+  private:
+    std::size_t rows_;
+    std::size_t cols_;
+    std::vector<T> data_;
+};
+
+/** Dot product of equal-length vectors. */
+template <typename TA, typename TB>
+promote_t<TA, TB>
+dot(const std::vector<TA>& a, const std::vector<TB>& b)
+{
+    BAYES_CHECK(a.size() == b.size(), "dot of mismatched lengths");
+    promote_t<TA, TB> s = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        s += a[i] * b[i];
+    return s;
+}
+
+/** Matrix-vector product. */
+template <typename T, typename TV>
+std::vector<promote_t<T, TV>>
+matVec(const Matrix<T>& m, const std::vector<TV>& v)
+{
+    BAYES_CHECK(m.cols() == v.size(), "matVec dimension mismatch");
+    std::vector<promote_t<T, TV>> out(m.rows(), promote_t<T, TV>(0.0));
+    for (std::size_t r = 0; r < m.rows(); ++r) {
+        promote_t<T, TV> s = 0.0;
+        for (std::size_t c = 0; c < m.cols(); ++c)
+            s += m(r, c) * v[c];
+        out[r] = s;
+    }
+    return out;
+}
+
+/**
+ * Cholesky factorization A = L L^T (lower triangular L).
+ * @pre A symmetric positive definite; throws bayes::Error otherwise.
+ */
+template <typename T>
+Matrix<T>
+cholesky(const Matrix<T>& a)
+{
+    using std::sqrt;
+    using ad::sqrt;
+    BAYES_CHECK(a.rows() == a.cols(), "cholesky of non-square matrix");
+    const std::size_t n = a.rows();
+    Matrix<T> l(n, n);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            T s = a(i, j);
+            for (std::size_t k = 0; k < j; ++k)
+                s -= l(i, k) * l(j, k);
+            if (i == j) {
+                BAYES_CHECK(valueOf(s) > 0.0,
+                            "matrix not positive definite at pivot " << i);
+                l(i, j) = sqrt(s);
+            } else {
+                l(i, j) = s / l(j, j);
+            }
+        }
+    }
+    return l;
+}
+
+/** Solve L x = b with lower-triangular L (forward substitution). */
+template <typename T, typename TB>
+std::vector<promote_t<T, TB>>
+solveLowerTriangular(const Matrix<T>& l, const std::vector<TB>& b)
+{
+    BAYES_CHECK(l.rows() == l.cols() && l.rows() == b.size(),
+                "triangular solve dimension mismatch");
+    const std::size_t n = b.size();
+    std::vector<promote_t<T, TB>> x(n, promote_t<T, TB>(0.0));
+    for (std::size_t i = 0; i < n; ++i) {
+        promote_t<T, TB> s = b[i];
+        for (std::size_t k = 0; k < i; ++k)
+            s -= l(i, k) * x[k];
+        x[i] = s / l(i, i);
+    }
+    return x;
+}
+
+/**
+ * Multivariate normal log density given the Cholesky factor of the
+ * covariance: y ~ N(mu, L L^T). Used by the `votes` Gaussian-process
+ * workload.
+ */
+template <typename TY, typename TMu, typename TL>
+promote_t<TY, TMu, TL>
+multi_normal_cholesky_lpdf(const std::vector<TY>& y,
+                           const std::vector<TMu>& mu, const Matrix<TL>& l)
+{
+    using T = promote_t<TY, TMu, TL>;
+    using std::log;
+    using ad::log;
+    const std::size_t n = y.size();
+    BAYES_CHECK(mu.size() == n && l.rows() == n, "MVN dimension mismatch");
+    std::vector<T> diff(n);
+    for (std::size_t i = 0; i < n; ++i)
+        diff[i] = y[i] - mu[i];
+    const auto z = solveLowerTriangular(l, diff);
+    T quad = 0.0;
+    for (const auto& zi : z)
+        quad += zi * zi;
+    T logDet = 0.0;
+    for (std::size_t i = 0; i < n; ++i)
+        logDet += log(T(l(i, i)));
+    return T(-0.5) * quad - logDet
+        - 0.5 * static_cast<double>(n) * kLogTwoPi;
+}
+
+/**
+ * Squared-exponential (RBF) Gaussian-process covariance over scalar
+ * inputs: K_ij = alpha^2 exp(-(x_i - x_j)^2 / (2 rho^2)) + jitter 1{i=j}.
+ */
+template <typename TAlpha, typename TRho>
+Matrix<promote_t<TAlpha, TRho>>
+gpCovSquaredExp(const std::vector<double>& xs, const TAlpha& alpha,
+                const TRho& rho, double jitter = 1e-8)
+{
+    using T = promote_t<TAlpha, TRho>;
+    using std::exp;
+    using ad::exp;
+    const std::size_t n = xs.size();
+    Matrix<T> k(n, n);
+    const T a2 = T(alpha) * T(alpha);
+    for (std::size_t i = 0; i < n; ++i) {
+        for (std::size_t j = 0; j <= i; ++j) {
+            const double d = xs[i] - xs[j];
+            T v = a2 * exp(T(-0.5 * d * d) / (T(rho) * T(rho)));
+            if (i == j)
+                v += jitter;
+            k(i, j) = v;
+            k(j, i) = v;
+        }
+    }
+    return k;
+}
+
+} // namespace bayes::math

@@ -1,0 +1,105 @@
+#include "math/special.hpp"
+
+#include "support/error.hpp"
+
+namespace bayes::math {
+
+double
+digamma(double x)
+{
+    BAYES_CHECK(x > 0.0, "digamma implemented for x > 0 only");
+    double result = 0.0;
+    // Recurrence to push the argument above 10 where the asymptotic
+    // series is accurate to ~1e-13.
+    while (x < 10.0) {
+        result -= 1.0 / x;
+        x += 1.0;
+    }
+    const double inv = 1.0 / x;
+    const double inv2 = inv * inv;
+    result += std::log(x) - 0.5 * inv
+        - inv2 * (1.0 / 12.0
+                  - inv2 * (1.0 / 120.0
+                            - inv2 * (1.0 / 252.0 - inv2 / 240.0)));
+    return result;
+}
+
+double
+trigamma(double x)
+{
+    BAYES_CHECK(x > 0.0, "trigamma implemented for x > 0 only");
+    double result = 0.0;
+    while (x < 10.0) {
+        result += 1.0 / (x * x);
+        x += 1.0;
+    }
+    const double inv = 1.0 / x;
+    const double inv2 = inv * inv;
+    result += inv * (1.0 + 0.5 * inv
+                     + inv2 * (1.0 / 6.0
+                               - inv2 * (1.0 / 30.0
+                                         - inv2 * (1.0 / 42.0
+                                                   - inv2 / 30.0))));
+    return result;
+}
+
+double
+logSumExp(const std::vector<double>& xs)
+{
+    BAYES_CHECK(!xs.empty(), "logSumExp of empty vector");
+    double m = xs[0];
+    for (double x : xs)
+        m = x > m ? x : m;
+    if (m == -INFINITY)
+        return -INFINITY;
+    double s = 0.0;
+    for (double x : xs)
+        s += std::exp(x - m);
+    return m + std::log(s);
+}
+
+double
+stdNormalQuantile(double p)
+{
+    BAYES_CHECK(p > 0.0 && p < 1.0, "quantile domain is (0,1)");
+    // Peter Acklam's rational approximation with one Halley refinement.
+    static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                               -2.759285104469687e+02, 1.383577518672690e+02,
+                               -3.066479806614716e+01, 2.506628277459239e+00};
+    static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                               -1.556989798598866e+02, 6.680131188771972e+01,
+                               -1.328068155288572e+01};
+    static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                               -2.400758277161838e+00, -2.549732539343734e+00,
+                               4.374664141464968e+00,  2.938163982698783e+00};
+    static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                               2.445134137142996e+00, 3.754408661907416e+00};
+    const double plow = 0.02425;
+    double x;
+    if (p < plow) {
+        const double q = std::sqrt(-2.0 * std::log(p));
+        x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+             + c[5])
+            / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    } else if (p <= 1.0 - plow) {
+        const double q = p - 0.5;
+        const double r = q * q;
+        x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r
+             + a[5])
+            * q
+            / (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r
+               + 1.0);
+    } else {
+        const double q = std::sqrt(-2.0 * std::log1p(-p));
+        x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q
+              + c[5])
+            / ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+    }
+    // One Halley step against the exact CDF.
+    const double e = stdNormalCdf(x) - p;
+    const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+    x -= u / (1.0 + 0.5 * x * u);
+    return x;
+}
+
+} // namespace bayes::math

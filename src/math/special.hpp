@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Scalar special functions used by the distribution library and by the
+ * Var overloads in math/functions.hpp. Everything here operates on
+ * plain doubles; differentiable versions wrap these with the analytic
+ * derivative.
+ */
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace bayes::math {
+
+/** log(2*pi), the ubiquitous Gaussian normalizing constant. */
+inline constexpr double kLogTwoPi = 1.8378770664093453;
+
+/** log(pi). */
+inline constexpr double kLogPi = 1.1447298858494002;
+
+/** log(sqrt(2*pi)). */
+inline constexpr double kLogSqrtTwoPi = 0.9189385332046727;
+
+/** Digamma (psi) function: d/dx log Gamma(x). Accurate to ~1e-12. */
+double digamma(double x);
+
+/** Trigamma function: d^2/dx^2 log Gamma(x). */
+double trigamma(double x);
+
+/** log(1 + exp(x)) without overflow (a.k.a. softplus). */
+inline double
+log1pExp(double x)
+{
+    if (x > 0.0)
+        return x + std::log1p(std::exp(-x));
+    return std::log1p(std::exp(x));
+}
+
+/** Logistic sigmoid 1 / (1 + exp(-x)). */
+inline double
+invLogit(double x)
+{
+    if (x >= 0.0) {
+        const double z = std::exp(-x);
+        return 1.0 / (1.0 + z);
+    }
+    const double z = std::exp(x);
+    return z / (1.0 + z);
+}
+
+/** Log-odds transform log(p / (1 - p)). @pre 0 < p < 1 */
+inline double
+logit(double p)
+{
+    return std::log(p) - std::log1p(-p);
+}
+
+/** log(exp(a) + exp(b)) without overflow. */
+inline double
+logSumExp(double a, double b)
+{
+    const double m = a > b ? a : b;
+    if (m == -INFINITY)
+        return -INFINITY;
+    return m + std::log(std::exp(a - m) + std::exp(b - m));
+}
+
+/** log sum_i exp(xs[i]) without overflow. @pre xs nonempty */
+double logSumExp(const std::vector<double>& xs);
+
+/** log(exp(a) - exp(b)). @pre a >= b */
+inline double
+logDiffExp(double a, double b)
+{
+    if (a == b)
+        return -INFINITY;
+    return a + std::log1p(-std::exp(b - a));
+}
+
+/** Standard normal CDF. */
+inline double
+stdNormalCdf(double x)
+{
+    return 0.5 * std::erfc(-x * M_SQRT1_2);
+}
+
+/** Standard normal log-PDF. */
+inline double
+stdNormalLpdf(double x)
+{
+    return -0.5 * x * x - kLogSqrtTwoPi;
+}
+
+/** Inverse of the standard normal CDF (Acklam's algorithm, ~1e-9). */
+double stdNormalQuantile(double p);
+
+/** log Beta(a, b) = lgamma(a) + lgamma(b) - lgamma(a + b). */
+inline double
+lbeta(double a, double b)
+{
+    return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+}
+
+/** log of the binomial coefficient C(n, k). */
+inline double
+lchoose(double n, double k)
+{
+    return std::lgamma(n + 1.0) - std::lgamma(k + 1.0)
+        - std::lgamma(n - k + 1.0);
+}
+
+} // namespace bayes::math

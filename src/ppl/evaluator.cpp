@@ -1,0 +1,121 @@
+#include "ppl/evaluator.hpp"
+
+#include <cmath>
+
+namespace bayes::ppl {
+namespace {
+
+/**
+ * Constrain a flat unconstrained vector, returning the constrained
+ * values and adding the log-Jacobian into @p logJ. Shared by the
+ * double and Var paths.
+ */
+template <typename T>
+std::vector<T>
+constrainAll(const ParamLayout& layout, const std::vector<T>& u, T& logJ)
+{
+    std::vector<T> x(layout.dim());
+    for (std::size_t b = 0; b < layout.blockCount(); ++b) {
+        const ParamBlock& blk = layout.block(b);
+        const std::size_t off = layout.offset(b);
+        if (blk.transform == TransformKind::Ordered) {
+            logJ += constrainOrdered(u.data() + off, x.data() + off,
+                                     blk.size);
+            continue;
+        }
+        for (std::size_t i = 0; i < blk.size; ++i) {
+            x[off + i] = constrainScalar(blk.transform, u[off + i],
+                                         blk.lowerBound, blk.upperBound);
+            logJ += logJacobianScalar(blk.transform, u[off + i],
+                                      blk.lowerBound, blk.upperBound);
+        }
+    }
+    return x;
+}
+
+} // namespace
+
+Evaluator::Evaluator(const Model& model)
+    : model_(&model), layout_(&model.layout()),
+      dataShadow_(model.modeledDataBytes(), 0)
+{
+}
+
+double
+Evaluator::logProb(const std::vector<double>& q)
+{
+    BAYES_CHECK(q.size() == dim(), "point has wrong dimension");
+    ++numEvals_;
+    double logJ = 0.0;
+    const std::vector<double> x = constrainAll(*layout_, q, logJ);
+    const ParamView<double> view(*layout_, x);
+    try {
+        return model_->logProb(view) + logJ;
+    } catch (const Error&) {
+        // Numerically infeasible point (e.g. a covariance that lost
+        // positive definiteness): treat as zero density.
+        return -INFINITY;
+    }
+}
+
+double
+Evaluator::logProbGrad(const std::vector<double>& q,
+                       std::vector<double>& grad)
+{
+    BAYES_CHECK(q.size() == dim(), "point has wrong dimension");
+    ++numGradEvals_;
+    tape_.clear();
+
+    std::vector<ad::Var> u(dim());
+    for (std::size_t i = 0; i < dim(); ++i)
+        u[i] = ad::leaf(tape_, q[i]);
+
+    ad::Var logJ = 0.0;
+    const std::vector<ad::Var> x = constrainAll(*layout_, u, logJ);
+    const ParamView<ad::Var> view(*layout_, x);
+    streamDataShadow();
+    ad::Var lp;
+    try {
+        lp = model_->logProb(view) + logJ;
+    } catch (const Error&) {
+        lp = ad::Var(-INFINITY); // infeasible point: reject
+    }
+    lastTapeNodes_ = tape_.size();
+
+    if (!std::isfinite(lp.value())) {
+        // Divergent/out-of-support point: gradient is meaningless but
+        // must be well-formed for the sampler's rejection logic.
+        grad.assign(dim(), 0.0);
+        return lp.value();
+    }
+
+    tape_.gradient(lp.id(), adjoints_);
+    grad.resize(dim());
+    // Leaves were pushed first, so their ids are 0..dim-1.
+    for (std::size_t i = 0; i < dim(); ++i)
+        grad[i] = adjoints_[u[i].id()];
+    return lp.value();
+}
+
+std::vector<double>
+Evaluator::constrain(const std::vector<double>& q) const
+{
+    BAYES_CHECK(q.size() == dim(), "point has wrong dimension");
+    double logJ = 0.0;
+    return constrainAll(*layout_, q, logJ);
+}
+
+void
+Evaluator::streamDataShadow()
+{
+    ad::MemProbe* probe = tape_.probe();
+    if (!probe || dataShadow_.empty())
+        return;
+    // One sequential pass over the observed data per evaluation,
+    // touched at cache-line granularity.
+    constexpr std::size_t kLine = 64;
+    for (std::size_t off = 0; off < dataShadow_.size(); off += kLine)
+        probe->access(dataShadow_.data() + off, kLine, false);
+}
+
+} // namespace bayes::ppl

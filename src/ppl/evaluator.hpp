@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Bridges the sampler's unconstrained space to a Model: applies the
+ * constraining transforms, accumulates log-Jacobians, and evaluates the
+ * log density with or without gradients. Owns the AD tape, which it
+ * reuses across evaluations (arena-style) exactly like Stan's autodiff
+ * stack.
+ *
+ * For architecture tracing, the evaluator also owns a "data shadow"
+ * buffer of modeledDataBytes() and, when a memory probe is attached to
+ * the tape, streams sequential reads over it on every gradient
+ * evaluation — modeling the likelihood's pass over the observed data.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ad/tape.hpp"
+#include "ppl/model.hpp"
+
+namespace bayes::ppl {
+
+/** Unconstrained-space evaluator of a model's log density. */
+class Evaluator
+{
+  public:
+    /** Bind to a model; the model must outlive the evaluator. */
+    explicit Evaluator(const Model& model);
+
+    /** Number of unconstrained dimensions. */
+    std::size_t dim() const { return layout_->dim(); }
+
+    /** Model being evaluated. */
+    const Model& model() const { return *model_; }
+
+    /**
+     * Log density (including Jacobian) at unconstrained point @p q,
+     * value-only path (no tape traffic).
+     */
+    double logProb(const std::vector<double>& q);
+
+    /**
+     * Log density and its gradient at unconstrained @p q.
+     * @param grad  resized to dim()
+     * @return the log density
+     */
+    double logProbGrad(const std::vector<double>& q,
+                       std::vector<double>& grad);
+
+    /** Map an unconstrained point to constrained parameter values. */
+    std::vector<double> constrain(const std::vector<double>& q) const;
+
+    /** AD tape (attach probes or inspect size here). */
+    ad::Tape& tape() { return tape_; }
+
+    /** Number of value-only evaluations performed. */
+    std::uint64_t numEvals() const { return numEvals_; }
+
+    /** Number of gradient evaluations performed. */
+    std::uint64_t numGradEvals() const { return numGradEvals_; }
+
+    /** Tape nodes used by the most recent gradient evaluation. */
+    std::size_t lastTapeNodes() const { return lastTapeNodes_; }
+
+  private:
+    void streamDataShadow();
+
+    const Model* model_;
+    const ParamLayout* layout_;
+    ad::Tape tape_;
+    std::vector<double> adjoints_;
+    std::vector<std::uint8_t> dataShadow_;
+    std::uint64_t numEvals_ = 0;
+    std::uint64_t numGradEvals_ = 0;
+    std::size_t lastTapeNodes_ = 0;
+};
+
+} // namespace bayes::ppl

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Constraining transforms between the sampler's unconstrained space and
+ * the model's constrained parameter space, with log-Jacobian
+ * corrections. Mirrors Stan's approach: HMC/NUTS always runs on R^n and
+ * the transform absorbs the support constraints.
+ */
+#pragma once
+
+#include "math/functions.hpp"
+
+namespace bayes::ppl {
+
+/** Transform families supported for parameter blocks. */
+enum class TransformKind
+{
+    Identity,   ///< unconstrained scalar
+    LowerBound, ///< x = lb + exp(u)
+    UpperBound, ///< x = ub - exp(u)
+    Bounded,    ///< x = lb + (ub - lb) * inv_logit(u)
+    Ordered,    ///< strictly increasing vector (block-level)
+};
+
+/**
+ * Apply the scalar constraining transform for one coordinate.
+ * @param kind  transform family (not Ordered — that is block-level)
+ * @param u     unconstrained value
+ * @param lb    lower bound (LowerBound/Bounded)
+ * @param ub    upper bound (UpperBound/Bounded)
+ */
+template <typename T>
+T
+constrainScalar(TransformKind kind, const T& u, double lb, double ub)
+{
+    using std::exp;
+    using ad::exp;
+    switch (kind) {
+      case TransformKind::Identity:
+        return u;
+      case TransformKind::LowerBound:
+        return lb + exp(u);
+      case TransformKind::UpperBound:
+        return ub - exp(u);
+      case TransformKind::Bounded:
+        return lb + (ub - lb) * math::invLogit(u);
+      case TransformKind::Ordered:
+        break;
+    }
+    BAYES_ASSERT(false && "Ordered handled at block level");
+    return u;
+}
+
+/**
+ * Log absolute Jacobian determinant contribution of one coordinate of
+ * the scalar transforms.
+ */
+template <typename T>
+T
+logJacobianScalar(TransformKind kind, const T& u, double lb, double ub)
+{
+    switch (kind) {
+      case TransformKind::Identity:
+        return T(0.0);
+      case TransformKind::LowerBound:
+      case TransformKind::UpperBound:
+        return u;
+      case TransformKind::Bounded:
+        return std::log(ub - lb) - math::log1pExp(u) - math::log1pExp(-u);
+      case TransformKind::Ordered:
+        break;
+    }
+    BAYES_ASSERT(false && "Ordered handled at block level");
+    return T(0.0);
+}
+
+/**
+ * Constrain an ordered block in place: x[0] = u[0],
+ * x[i] = x[i-1] + exp(u[i]). Returns the log-Jacobian (sum of u[1:]).
+ */
+template <typename T>
+T
+constrainOrdered(const T* u, T* x, std::size_t n)
+{
+    using std::exp;
+    using ad::exp;
+    BAYES_ASSERT(n > 0);
+    x[0] = u[0];
+    T logJ = 0.0;
+    for (std::size_t i = 1; i < n; ++i) {
+        x[i] = x[i - 1] + exp(u[i]);
+        logJ += u[i];
+    }
+    return logJ;
+}
+
+/** Inverse of the scalar transforms (used for initialization helpers). */
+double unconstrainScalar(TransformKind kind, double x, double lb, double ub);
+
+} // namespace bayes::ppl

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Automatic Differentiation Variational Inference (ADVI) with a
+ * mean-field Gaussian family — the paper's §II-B "other algorithms"
+ * alternative: approximates the posterior by optimization instead of
+ * sampling. Fast, but with no asymptotic-exactness guarantee; the
+ * advi_vs_nuts bench quantifies that trade-off on BayesSuite.
+ *
+ * The variational family is q(theta) = N(mu, diag(exp(omega))^2) on the
+ * unconstrained scale; gradients use the reparameterization trick
+ * (theta = mu + exp(omega) * eps, eps ~ N(0, I)) through the same AD
+ * tape the samplers use, and Adam performs the ascent.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppl/evaluator.hpp"
+#include "ppl/model.hpp"
+#include "support/rng.hpp"
+
+namespace bayes::samplers {
+
+/** ADVI configuration. */
+struct AdviConfig
+{
+    /** Gradient-ascent iterations. */
+    int maxIterations = 2000;
+    /** Monte Carlo samples per ELBO gradient estimate. */
+    int gradSamples = 4;
+    /** Adam step size. */
+    double learningRate = 0.1;
+    /** Relative ELBO improvement below which the run stops. */
+    double tolerance = 1e-4;
+    /** Iterations between convergence checks (ELBO moving average). */
+    int evalInterval = 50;
+    /** Posterior draws to sample from the fitted q at the end. */
+    int outputDraws = 1000;
+    /**
+     * Deterministic MAP ascent iterations before the stochastic phase
+     * (warm start; random inits sit far from the typical set on GLMs
+     * with exponential links).
+     */
+    int mapWarmStart = 300;
+    std::uint64_t seed = 20190331;
+};
+
+/** Result of an ADVI fit. */
+struct AdviResult
+{
+    /** Variational means on the unconstrained scale. */
+    std::vector<double> mu;
+    /** Variational log standard deviations. */
+    std::vector<double> omega;
+    /** Smoothed ELBO at every evalInterval. */
+    std::vector<double> elboTrace;
+    /** True when the tolerance criterion stopped the run. */
+    bool converged = false;
+    /** Gradient evaluations performed (work accounting). */
+    std::uint64_t gradEvals = 0;
+    /** Draws from the fitted q, mapped to the constrained scale. */
+    std::vector<std::vector<double>> draws;
+};
+
+/** Fit @p model with mean-field ADVI. */
+AdviResult fitAdvi(const ppl::Model& model,
+                   const AdviConfig& config = AdviConfig{});
+
+} // namespace bayes::samplers

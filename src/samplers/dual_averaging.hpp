@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Nesterov-style dual-averaging step-size adaptation, as specified in
+ * Hoffman & Gelman (2014) §3.2 and used by Stan. Drives the step size
+ * toward a target Metropolis acceptance statistic during warmup.
+ */
+#pragma once
+
+#include <cmath>
+
+namespace bayes::samplers {
+
+/** Dual-averaging controller for the leapfrog step size. */
+class DualAveraging
+{
+  public:
+    /**
+     * @param initialStepSize  starting epsilon (> 0)
+     * @param target           desired acceptance statistic (e.g. 0.8)
+     */
+    DualAveraging(double initialStepSize, double target)
+        : mu_(std::log(10.0 * initialStepSize)), target_(target),
+          logStep_(std::log(initialStepSize))
+    {
+    }
+
+    /** Fold in the acceptance statistic of one warmup iteration. */
+    void
+    update(double acceptStat)
+    {
+        ++count_;
+        const double n = static_cast<double>(count_);
+        const double eta = 1.0 / (n + kT0);
+        hBar_ = (1.0 - eta) * hBar_ + eta * (target_ - acceptStat);
+        logStep_ = mu_ - std::sqrt(n) / kGamma * hBar_;
+        const double weight = std::pow(n, -kKappa);
+        logStepBar_ = weight * logStep_ + (1.0 - weight) * logStepBar_;
+    }
+
+    /** Step size to use for the next warmup iteration. */
+    double stepSize() const { return std::exp(logStep_); }
+
+    /** Smoothed step size to freeze for the sampling phase. */
+    double adaptedStepSize() const
+    {
+        return count_ ? std::exp(logStepBar_) : std::exp(logStep_);
+    }
+
+    /** Re-center the controller (used when the metric changes). */
+    void
+    restart(double stepSize)
+    {
+        mu_ = std::log(10.0 * stepSize);
+        logStep_ = std::log(stepSize);
+        logStepBar_ = 0.0;
+        hBar_ = 0.0;
+        count_ = 0;
+    }
+
+  private:
+    static constexpr double kGamma = 0.05;
+    static constexpr double kT0 = 10.0;
+    static constexpr double kKappa = 0.75;
+
+    double mu_;
+    double target_;
+    double logStep_;
+    double logStepBar_ = 0.0;
+    double hBar_ = 0.0;
+    long count_ = 0;
+};
+
+} // namespace bayes::samplers

@@ -1,0 +1,36 @@
+#include "samplers/hmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bayes::samplers {
+
+HmcTransition
+HmcSampler::transition(PhasePoint& z, Rng& rng)
+{
+    HmcTransition result;
+
+    ham_->sampleMomentum(rng, z);
+    const double joint0 = ham_->joint(z);
+
+    PhasePoint trial = z;
+    for (int s = 0; s < steps_; ++s) {
+        ham_->leapfrog(trial, stepSize_);
+        ++result.gradEvals;
+        if (!std::isfinite(trial.logProb))
+            break;
+    }
+
+    double joint = ham_->joint(trial);
+    if (!std::isfinite(joint))
+        joint = -INFINITY;
+    result.divergent = joint0 - joint > kDeltaMax;
+    result.acceptStat = std::min(1.0, std::exp(joint - joint0));
+    if (rng.uniform() < result.acceptStat) {
+        z = trial;
+        result.accepted = true;
+    }
+    return result;
+}
+
+} // namespace bayes::samplers

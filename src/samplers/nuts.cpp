@@ -1,0 +1,127 @@
+#include "samplers/nuts.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bayes::samplers {
+
+bool
+NutsSampler::noUTurn(const PhasePoint& zMinus, const PhasePoint& zPlus) const
+{
+    // Criterion evaluated in velocity space (M^{-1} p), the natural
+    // generalization of (q+ - q-) . p for a non-identity metric.
+    const auto& invMetric = ham_->invMetric();
+    double dotMinus = 0.0;
+    double dotPlus = 0.0;
+    for (std::size_t i = 0; i < zMinus.q.size(); ++i) {
+        const double dq = zPlus.q[i] - zMinus.q[i];
+        dotMinus += dq * invMetric[i] * zMinus.p[i];
+        dotPlus += dq * invMetric[i] * zPlus.p[i];
+    }
+    return dotMinus > 0.0 && dotPlus > 0.0;
+}
+
+NutsSampler::Tree
+NutsSampler::buildTree(const PhasePoint& z, double logU, int direction,
+                       int depth, double joint0, Rng& rng,
+                       std::uint32_t& gradEvals)
+{
+    if (depth == 0) {
+        // Base case: a single leapfrog step.
+        Tree tree;
+        tree.zProp = z;
+        ham_->leapfrog(tree.zProp, direction * stepSize_);
+        ++gradEvals;
+        double joint = ham_->joint(tree.zProp);
+        if (!std::isfinite(joint))
+            joint = -INFINITY;
+        tree.nValid = logU <= joint ? 1 : 0;
+        tree.divergent = logU - kDeltaMax > joint;
+        tree.cont = !tree.divergent;
+        tree.alphaSum = std::min(1.0, std::exp(joint - joint0));
+        tree.nAlpha = 1;
+        tree.zMinus = tree.zProp;
+        tree.zPlus = tree.zProp;
+        return tree;
+    }
+
+    // Build the left half, then (if still going) the right half.
+    Tree tree =
+        buildTree(z, logU, direction, depth - 1, joint0, rng, gradEvals);
+    if (!tree.cont)
+        return tree;
+
+    const PhasePoint& edge = direction == 1 ? tree.zPlus : tree.zMinus;
+    Tree other =
+        buildTree(edge, logU, direction, depth - 1, joint0, rng, gradEvals);
+
+    if (direction == 1)
+        tree.zPlus = other.zPlus;
+    else
+        tree.zMinus = other.zMinus;
+
+    const std::size_t total = tree.nValid + other.nValid;
+    if (other.nValid > 0 &&
+        rng.uniform() * static_cast<double>(total)
+            < static_cast<double>(other.nValid)) {
+        tree.zProp = other.zProp;
+    }
+    tree.nValid = total;
+    tree.alphaSum += other.alphaSum;
+    tree.nAlpha += other.nAlpha;
+    tree.divergent = tree.divergent || other.divergent;
+    tree.cont = other.cont && noUTurn(tree.zMinus, tree.zPlus);
+    return tree;
+}
+
+NutsTransition
+NutsSampler::transition(PhasePoint& z, Rng& rng)
+{
+    NutsTransition result;
+
+    ham_->sampleMomentum(rng, z);
+    const double joint0 = ham_->joint(z);
+    // Slice variable in log space: log u = joint0 + log(uniform).
+    const double logU = joint0 + std::log(std::max(rng.uniform(), 1e-300));
+
+    PhasePoint zMinus = z;
+    PhasePoint zPlus = z;
+    PhasePoint zProp = z;
+    std::size_t nValid = 1;
+    bool cont = true;
+    double alphaSum = 0.0;
+    std::size_t nAlpha = 0;
+
+    int depth = 0;
+    while (cont && depth < maxDepth_) {
+        const int direction = rng.uniform() < 0.5 ? -1 : 1;
+        const PhasePoint& edge = direction == 1 ? zPlus : zMinus;
+        Tree tree = buildTree(edge, logU, direction, depth, joint0, rng,
+                              result.gradEvals);
+        if (direction == 1)
+            zPlus = tree.zPlus;
+        else
+            zMinus = tree.zMinus;
+
+        if (tree.cont && tree.nValid > 0) {
+            const double accept = static_cast<double>(tree.nValid)
+                / static_cast<double>(nValid);
+            if (rng.uniform() < std::min(1.0, accept))
+                zProp = tree.zProp;
+        }
+        nValid += tree.nValid;
+        alphaSum += tree.alphaSum;
+        nAlpha += tree.nAlpha;
+        result.divergent = result.divergent || tree.divergent;
+        cont = tree.cont && noUTurn(zMinus, zPlus);
+        ++depth;
+    }
+
+    z = zProp;
+    result.depth = static_cast<std::uint16_t>(depth);
+    result.acceptStat =
+        nAlpha ? alphaSum / static_cast<double>(nAlpha) : 0.0;
+    return result;
+}
+
+} // namespace bayes::samplers

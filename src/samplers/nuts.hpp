@@ -1,0 +1,78 @@
+/**
+ * @file
+ * The No-U-Turn Sampler (Hoffman & Gelman 2014, Algorithm 6 slice
+ * variant) with a diagonal Euclidean metric — the inference engine the
+ * paper's BayesSuite workloads all run through (§II-B).
+ */
+#pragma once
+
+#include <cstdint>
+
+#include "samplers/hamiltonian.hpp"
+
+namespace bayes::samplers {
+
+/** Outcome of one NUTS transition. */
+struct NutsTransition
+{
+    /** Mean Metropolis acceptance statistic over the trajectory. */
+    double acceptStat = 0.0;
+    /** Gradient evaluations (== leapfrog steps) consumed. */
+    std::uint32_t gradEvals = 0;
+    /** Final tree depth reached. */
+    std::uint16_t depth = 0;
+    /** True when the trajectory diverged (energy error > 1000). */
+    bool divergent = false;
+};
+
+/** One-chain NUTS kernel; the multi-chain driver lives in runner.cpp. */
+class NutsSampler
+{
+  public:
+    /**
+     * @param ham           Hamiltonian over the model evaluator
+     * @param maxTreeDepth  doubling limit (Stan default 10)
+     */
+    NutsSampler(Hamiltonian& ham, int maxTreeDepth = 10)
+        : ham_(&ham), maxDepth_(maxTreeDepth)
+    {
+    }
+
+    /** Leapfrog step size used by transitions. */
+    void setStepSize(double eps) { stepSize_ = eps; }
+    double stepSize() const { return stepSize_; }
+
+    /**
+     * Run one NUTS transition from @p z (updated in place; must have
+     * logProb/grad populated via Hamiltonian::refresh).
+     */
+    NutsTransition transition(PhasePoint& z, Rng& rng);
+
+  private:
+    struct Tree
+    {
+        PhasePoint zMinus;  ///< backward-most phase point
+        PhasePoint zPlus;   ///< forward-most phase point
+        PhasePoint zProp;   ///< proposal drawn from the valid set
+        std::size_t nValid = 0;
+        bool cont = true;
+        bool divergent = false;
+        double alphaSum = 0.0;
+        std::size_t nAlpha = 0;
+    };
+
+    Tree buildTree(const PhasePoint& z, double logU, int direction,
+                   int depth, double joint0, Rng& rng,
+                   std::uint32_t& gradEvals);
+
+    /** U-turn termination criterion across two endpoints. */
+    bool noUTurn(const PhasePoint& zMinus, const PhasePoint& zPlus) const;
+
+    Hamiltonian* ham_;
+    int maxDepth_;
+    double stepSize_ = 1.0;
+
+    static constexpr double kDeltaMax = 1000.0;
+};
+
+} // namespace bayes::samplers

@@ -1,0 +1,271 @@
+#include "samplers/runner.hpp"
+
+#include <cmath>
+#include <memory>
+#include <thread>
+
+#include "samplers/dual_averaging.hpp"
+#include "samplers/hmc.hpp"
+#include "samplers/mh.hpp"
+#include "samplers/nuts.hpp"
+#include "samplers/slice.hpp"
+#include "support/stats.hpp"
+
+namespace bayes::samplers {
+namespace {
+
+/** Everything one chain needs to advance independently. */
+class ChainState
+{
+  public:
+    ChainState(const ppl::Model& model, const Config& config, Rng rng)
+        : config_(config), eval_(model), ham_(eval_), rng_(rng),
+          nuts_(ham_, config.maxTreeDepth),
+          hmc_(ham_, config.hmcLeapfrogSteps), mh_(eval_), slice_(eval_)
+    {
+        z_.q = findInitialPoint(eval_, rng_);
+        ham_.refresh(z_);
+        if (config_.algorithm == Algorithm::Nuts
+            || config_.algorithm == Algorithm::Hmc) {
+            const double eps = ham_.findReasonableStepSize(z_, rng_);
+            da_ = std::make_unique<DualAveraging>(eps, config_.targetAccept);
+            setStepSize(eps);
+        }
+        welford_.assign(eval_.dim(), RunningStats{});
+    }
+
+    /** Run one warmup iteration with adaptation. */
+    void
+    warmupIteration(int t)
+    {
+        const int warmup = config_.resolvedWarmup();
+        const int phase1End = std::max(1, warmup * 15 / 100);
+        const int phase2End = std::max(phase1End + 1, warmup * 90 / 100);
+
+        const double acceptStat = advance();
+
+        if (config_.algorithm == Algorithm::Mh) {
+            mh_.adaptScale(acceptStat);
+            return;
+        }
+        if (config_.algorithm == Algorithm::Slice) {
+            // The stepping-out procedure self-scales to the slice, so
+            // the default unit width needs no warmup adaptation; use
+            // SliceSampler::tuneWidths directly for custom schedules.
+            return;
+        }
+
+        da_->update(acceptStat);
+        setStepSize(da_->stepSize());
+
+        if (t >= phase1End && t < phase2End) {
+            for (std::size_t i = 0; i < z_.q.size(); ++i)
+                welford_[i].add(z_.q[i]);
+        }
+        if (config_.adaptMetric && t + 1 == phase2End
+            && welford_[0].count() >= 10) {
+            std::vector<double> invMetric(z_.q.size());
+            // Regularized variance estimate (Stan's shrinkage prior).
+            const double n = static_cast<double>(welford_[0].count());
+            for (std::size_t i = 0; i < invMetric.size(); ++i) {
+                invMetric[i] = (n / (n + 5.0)) * welford_[i].variance()
+                    + 1e-3 * (5.0 / (n + 5.0));
+            }
+            ham_.setInvMetric(std::move(invMetric));
+            ham_.refresh(z_);
+            const double eps = ham_.findReasonableStepSize(z_, rng_);
+            da_->restart(eps);
+            setStepSize(eps);
+        }
+        if (t + 1 == warmup) {
+            setStepSize(da_->adaptedStepSize());
+            result.stepSize = da_->adaptedStepSize();
+        }
+    }
+
+    /** Run one post-warmup iteration and record the draw. */
+    void
+    sampleIteration()
+    {
+        const double acceptStat = advance();
+        acceptAccum_.add(acceptStat);
+        result.draws.push_back(eval_.constrain(z_.q));
+        result.logProbs.push_back(z_.logProb);
+    }
+
+    /** Finalize summary statistics. */
+    void
+    finish()
+    {
+        result.acceptRate = acceptAccum_.mean();
+        result.totalGradEvals = eval_.numGradEvals();
+        result.tapeNodesPerEval = eval_.lastTapeNodes();
+    }
+
+    ChainResult result;
+
+  private:
+    /** One transition of the configured kernel; returns accept stat. */
+    double
+    advance()
+    {
+        IterationStat stat{0, 0, false};
+        double acceptStat = 0.0;
+        switch (config_.algorithm) {
+          case Algorithm::Nuts: {
+              const NutsTransition t = nuts_.transition(z_, rng_);
+              stat.gradEvals = t.gradEvals;
+              stat.treeDepth = t.depth;
+              stat.divergent = t.divergent;
+              acceptStat = t.acceptStat;
+              break;
+          }
+          case Algorithm::Hmc: {
+              const HmcTransition t = hmc_.transition(z_, rng_);
+              stat.gradEvals = t.gradEvals;
+              stat.treeDepth =
+                  static_cast<std::uint16_t>(config_.hmcLeapfrogSteps);
+              stat.divergent = t.divergent;
+              acceptStat = t.acceptStat;
+              break;
+          }
+          case Algorithm::Mh: {
+              const MhTransition t = mh_.transition(z_.q, z_.logProb, rng_);
+              acceptStat = t.acceptProb;
+              break;
+          }
+          case Algorithm::Slice: {
+              const SliceTransition t = slice_.sweep(z_.q, z_.logProb, rng_);
+              // Density evaluations are the slice sampler's work unit.
+              stat.gradEvals = t.evals;
+              // Report evals per coordinate (used for width tuning).
+              acceptStat = static_cast<double>(t.evals)
+                  / static_cast<double>(z_.q.size());
+              break;
+          }
+        }
+        if (stat.divergent && !result.draws.empty())
+            ++result.divergences;
+        result.iterStats.push_back(stat);
+        return acceptStat;
+    }
+
+    void
+    setStepSize(double eps)
+    {
+        nuts_.setStepSize(eps);
+        hmc_.setStepSize(eps);
+    }
+
+    const Config& config_;
+    ppl::Evaluator eval_;
+    Hamiltonian ham_;
+    Rng rng_;
+    NutsSampler nuts_;
+    HmcSampler hmc_;
+    MhSampler mh_;
+    SliceSampler slice_;
+    PhasePoint z_;
+    std::unique_ptr<DualAveraging> da_;
+    std::vector<RunningStats> welford_;
+    RunningStats acceptAccum_;
+};
+
+} // namespace
+
+std::vector<double>
+findInitialPoint(ppl::Evaluator& eval, Rng& rng)
+{
+    for (int attempt = 0; attempt < 100; ++attempt) {
+        std::vector<double> q(eval.dim());
+        for (double& qi : q)
+            qi = rng.uniform(-2.0, 2.0);
+        std::vector<double> grad;
+        const double lp = eval.logProbGrad(q, grad);
+        bool gradFinite = std::isfinite(lp);
+        for (double g : grad)
+            gradFinite = gradFinite && std::isfinite(g);
+        if (gradFinite)
+            return q;
+    }
+    throw Error("model '" + eval.model().name()
+                + "': no finite-density initial point in 100 attempts");
+}
+
+RunResult
+run(const ppl::Model& model, const Config& config,
+    const IterationMonitor& monitor)
+{
+    BAYES_CHECK(config.chains >= 1, "need at least one chain");
+    BAYES_CHECK(config.iterations > config.resolvedWarmup(),
+                "iterations must exceed warmup");
+
+    BAYES_CHECK(!(config.parallelChains && monitor),
+                "parallel chains cannot run with an iteration monitor; "
+                "use the lockstep (sequential) schedule for elision");
+
+    Rng master(config.seed);
+    std::vector<std::unique_ptr<ChainState>> states;
+    states.reserve(config.chains);
+    for (int c = 0; c < config.chains; ++c)
+        states.push_back(
+            std::make_unique<ChainState>(model, config, master.fork()));
+
+    const int warmup = config.resolvedWarmup();
+    const int sampling = config.iterations - warmup;
+
+    if (config.parallelChains) {
+        // One thread per chain; chains are fully independent, so the
+        // result is draw-for-draw identical to the lockstep schedule.
+        std::vector<std::thread> threads;
+        threads.reserve(config.chains);
+        for (auto& chain : states) {
+            threads.emplace_back([&chain, warmup, sampling] {
+                for (int t = 0; t < warmup; ++t)
+                    chain->warmupIteration(t);
+                for (int t = 0; t < sampling; ++t)
+                    chain->sampleIteration();
+            });
+        }
+        for (auto& thread : threads)
+            thread.join();
+        RunResult out;
+        out.chains.resize(config.chains);
+        for (int c = 0; c < config.chains; ++c) {
+            states[c]->finish();
+            out.chains[c] = std::move(states[c]->result);
+        }
+        return out;
+    }
+
+    for (int t = 0; t < warmup; ++t)
+        for (auto& chain : states)
+            chain->warmupIteration(t);
+
+    RunResult out;
+    out.chains.resize(config.chains);
+
+    for (int t = 0; t < sampling; ++t) {
+        for (auto& chain : states)
+            chain->sampleIteration();
+        if (monitor) {
+            // Expose partial results without copying draw storage: move
+            // views in, ask, and move back.
+            for (int c = 0; c < config.chains; ++c)
+                out.chains[c] = std::move(states[c]->result);
+            const bool stop = monitor(t + 1, out.chains);
+            for (int c = 0; c < config.chains; ++c)
+                states[c]->result = std::move(out.chains[c]);
+            if (stop)
+                break;
+        }
+    }
+
+    for (int c = 0; c < config.chains; ++c) {
+        states[c]->finish();
+        out.chains[c] = std::move(states[c]->result);
+    }
+    return out;
+}
+
+} // namespace bayes::samplers

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Multi-chain driver. Chains execute in lockstep (round-robin, one
+ * iteration each) so that a monitor callback can observe all chains
+ * after every sampling round — the hook the convergence-elision
+ * mechanism (§VI) plugs into. Lockstep order does not change any
+ * chain's own trajectory: each chain has an independent RNG stream and
+ * evaluator.
+ *
+ * Warmup adaptation mirrors Stan's windowed scheme in simplified form:
+ * an initial step-size-only phase, a long variance-accumulation phase
+ * that ends by installing the diagonal metric, and a final step-size
+ * re-adaptation phase.
+ */
+#pragma once
+
+#include <functional>
+
+#include "ppl/evaluator.hpp"
+#include "ppl/model.hpp"
+#include "samplers/types.hpp"
+#include "support/rng.hpp"
+
+namespace bayes::samplers {
+
+/**
+ * Observer invoked after every completed post-warmup round.
+ * @param drawsSoFar  post-warmup draws completed per chain
+ * @param partial     chains being filled (draws valid up to drawsSoFar)
+ * @return true to stop sampling early (computation elision)
+ */
+using IterationMonitor =
+    std::function<bool(int drawsSoFar, const std::vector<ChainResult>& partial)>;
+
+/**
+ * Run a multi-chain inference job.
+ * @param model    the Bayesian model to sample
+ * @param config   chains / iterations / algorithm configuration
+ * @param monitor  optional early-termination observer
+ */
+RunResult run(const ppl::Model& model, const Config& config,
+              const IterationMonitor& monitor = nullptr);
+
+/**
+ * Draw a finite-density initial point on the unconstrained scale
+ * (uniform(-2, 2) per coordinate, up to 100 attempts — Stan's rule).
+ */
+std::vector<double> findInitialPoint(ppl::Evaluator& eval, Rng& rng);
+
+} // namespace bayes::samplers

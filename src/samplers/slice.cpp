@@ -1,0 +1,77 @@
+#include "samplers/slice.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bayes::samplers {
+
+SliceSampler::SliceSampler(ppl::Evaluator& eval, double initialWidth,
+                           int maxStepOut)
+    : eval_(&eval), widths_(eval.dim(), initialWidth),
+      maxStepOut_(maxStepOut)
+{
+    BAYES_CHECK(initialWidth > 0, "slice width must be positive");
+    BAYES_CHECK(maxStepOut >= 1, "need at least one step-out");
+}
+
+SliceTransition
+SliceSampler::sweep(std::vector<double>& q, double& logProb, Rng& rng)
+{
+    SliceTransition result;
+    const std::size_t n = q.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        // Slice level: log y = log p(x) + log(uniform).
+        const double logY =
+            logProb + std::log(std::max(rng.uniform(), 1e-300));
+        const double x0 = q[i];
+        const double w = widths_[i];
+
+        // Stepping out (Neal 2003, Fig. 3) with a doubling cap.
+        double lo = x0 - w * rng.uniform();
+        double hi = lo + w;
+        auto logProbAt = [&](double x) {
+            q[i] = x;
+            ++result.evals;
+            return eval_->logProb(q);
+        };
+        int stepsLeft = maxStepOut_;
+        while (stepsLeft-- > 0 && logProbAt(lo) > logY)
+            lo -= w;
+        stepsLeft = maxStepOut_;
+        while (stepsLeft-- > 0 && logProbAt(hi) > logY)
+            hi += w;
+
+        // Shrinkage until an in-slice point is found.
+        double x1 = x0;
+        double newLogProb = logProb;
+        for (int attempt = 0; attempt < 200; ++attempt) {
+            x1 = rng.uniform(lo, hi);
+            const double lp = logProbAt(x1);
+            if (lp > logY) {
+                newLogProb = lp;
+                break;
+            }
+            if (x1 < x0)
+                lo = x1;
+            else
+                hi = x1;
+            if (hi - lo < 1e-14) {
+                x1 = x0; // degenerate slice: stay put
+                break;
+            }
+        }
+        q[i] = x1;
+        logProb = x1 == x0 ? logProb : newLogProb;
+    }
+    return result;
+}
+
+void
+SliceSampler::tuneWidths(double factor)
+{
+    BAYES_CHECK(factor > 0, "width factor must be positive");
+    for (double& w : widths_)
+        w = std::clamp(w * factor, 1e-6, 1e6);
+}
+
+} // namespace bayes::samplers

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Coordinate-wise slice sampler (Neal 2003) — another member of the
+ * sampling-algorithm family the paper lists alongside NUTS (§II-B:
+ * "Gibbs sampler, Hamiltonian Monte Carlo, slice sampling, ...").
+ * Gradient-free like Metropolis-Hastings but with self-tuning move
+ * sizes: each coordinate update samples uniformly from the slice
+ * {x : p(x) > y} using the stepping-out and shrinkage procedures.
+ */
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ppl/evaluator.hpp"
+#include "support/rng.hpp"
+
+namespace bayes::samplers {
+
+/** Outcome of one full coordinate sweep. */
+struct SliceTransition
+{
+    /** Density evaluations consumed by the sweep. */
+    std::uint32_t evals = 0;
+};
+
+/** One-chain coordinate slice sampler. */
+class SliceSampler
+{
+  public:
+    /**
+     * @param eval           model evaluator (value path only)
+     * @param initialWidth   stepping-out interval width per coordinate
+     * @param maxStepOut     stepping-out doublings cap
+     */
+    explicit SliceSampler(ppl::Evaluator& eval, double initialWidth = 1.0,
+                          int maxStepOut = 16);
+
+    /**
+     * Sweep all coordinates once, updating @p q and its cached density
+     * @p logProb in place.
+     */
+    SliceTransition sweep(std::vector<double>& q, double& logProb,
+                          Rng& rng);
+
+    /** Per-coordinate interval widths (adapted by tuneWidth). */
+    const std::vector<double>& widths() const { return widths_; }
+
+    /**
+     * Robbins-Monro width adaptation toward a target number of
+     * shrinkage steps; call during warmup only.
+     */
+    void tuneWidths(double factor);
+
+  private:
+    ppl::Evaluator* eval_;
+    std::vector<double> widths_;
+    int maxStepOut_;
+};
+
+} // namespace bayes::samplers

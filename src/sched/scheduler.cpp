@@ -1,0 +1,70 @@
+#include "sched/scheduler.hpp"
+
+#include <cmath>
+
+#include "support/error.hpp"
+
+namespace bayes::sched {
+
+void
+LlcMissPredictor::fit(const std::vector<MissObservation>& observations,
+                      double fitFloor)
+{
+    std::vector<double> logBytes;
+    std::vector<double> logMpki;
+    for (const auto& obs : observations) {
+        if (obs.llcMpki4Core < fitFloor)
+            continue;
+        BAYES_CHECK(obs.modeledDataBytes > 0, "data size must be positive");
+        logBytes.push_back(std::log(obs.modeledDataBytes));
+        logMpki.push_back(std::log(obs.llcMpki4Core));
+    }
+    BAYES_CHECK(logBytes.size() >= 2,
+                "need at least two above-floor observations to fit "
+                "(have " << logBytes.size() << ")");
+    fit_ = fitLeastSquares(logBytes, logMpki);
+    fitted_ = true;
+}
+
+double
+LlcMissPredictor::predictMpki(double modeledDataBytes) const
+{
+    BAYES_CHECK(fitted_, "predictor not fitted");
+    BAYES_CHECK(modeledDataBytes > 0, "data size must be positive");
+    return std::exp(fit_.predict(std::log(modeledDataBytes)));
+}
+
+double
+LlcMissPredictor::dataSizeThreshold(double mpkiThreshold) const
+{
+    BAYES_CHECK(fitted_, "predictor not fitted");
+    BAYES_CHECK(mpkiThreshold > 0 && fit_.slope > 0,
+                "threshold inversion needs positive slope and target");
+    // Invert log(mpki) = a + b log(bytes) at the target MPKI.
+    return std::exp((std::log(mpkiThreshold) - fit_.intercept)
+                    / fit_.slope);
+}
+
+PlatformScheduler::PlatformScheduler(const archsim::Platform& highFreq,
+                                     const archsim::Platform& bigLlc,
+                                     double dataSizeThresholdBytes)
+    : highFreq_(&highFreq), bigLlc_(&bigLlc),
+      thresholdBytes_(dataSizeThresholdBytes)
+{
+    BAYES_CHECK(dataSizeThresholdBytes > 0, "threshold must be positive");
+}
+
+bool
+PlatformScheduler::isLlcBound(const ppl::Model& model) const
+{
+    return static_cast<double>(model.modeledDataBytes()) >= thresholdBytes_;
+}
+
+Placement
+PlatformScheduler::place(const ppl::Model& model) const
+{
+    const bool bound = isLlcBound(model);
+    return Placement{model.name(), bound, bound ? bigLlc_ : highFreq_};
+}
+
+} // namespace bayes::sched

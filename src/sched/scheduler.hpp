@@ -1,0 +1,106 @@
+/**
+ * @file
+ * LLC-miss prediction and platform scheduling (paper §V).
+ *
+ * The predictor regresses the measured 4-core LLC MPKI against the
+ * static modeled-data-size feature in log-log space; the scheduler uses
+ * a modeled-data-size threshold to split jobs into LLC-bound (routed to
+ * the large-LLC platform) and compute-bound (routed to the
+ * high-frequency platform) — no execution needed before placement.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "archsim/platform.hpp"
+#include "ppl/model.hpp"
+#include "support/stats.hpp"
+
+namespace bayes::sched {
+
+/** One (modeled data size, measured MPKI) training observation. */
+struct MissObservation
+{
+    std::string workload;
+    double modeledDataBytes;
+    double llcMpki4Core;
+};
+
+/** Log-log linear LLC-miss-rate predictor over the static feature. */
+class LlcMissPredictor
+{
+  public:
+    /**
+     * Fit on observations; following the paper, only workloads whose
+     * MPKI exceeds @p fitFloor participate in the line fit (below the
+     * floor the relationship is dominated by prefetcher/replacement
+     * noise, Fig. 3).
+     */
+    void fit(const std::vector<MissObservation>& observations,
+             double fitFloor = 1.0);
+
+    /** Predicted 4-core LLC MPKI for a modeled data size. */
+    double predictMpki(double modeledDataBytes) const;
+
+    /**
+     * Smallest modeled data size whose predicted MPKI reaches
+     * @p mpkiThreshold (the scheduling threshold, default 1).
+     */
+    double dataSizeThreshold(double mpkiThreshold = 1.0) const;
+
+    /** True once fit() has run with at least two points. */
+    bool fitted() const { return fitted_; }
+
+    /** Fitted slope in log-log space (elasticity of MPKI in size). */
+    double slope() const { return fit_.slope; }
+
+    /** Fitted intercept in log-log space. */
+    double intercept() const { return fit_.intercept; }
+
+  private:
+    LinearFit fit_{0.0, 0.0};
+    bool fitted_ = false;
+};
+
+/** Placement decision for one job. */
+struct Placement
+{
+    std::string workload;
+    bool llcBound;
+    const archsim::Platform* platform;
+};
+
+/**
+ * Two-platform scheduler: jobs whose modeled data size exceeds the
+ * threshold go to the large-LLC platform, the rest to the
+ * high-frequency platform.
+ */
+class PlatformScheduler
+{
+  public:
+    /**
+     * @param highFreq  small-LLC, high-frequency platform (Skylake)
+     * @param bigLlc    large-LLC platform (Broadwell)
+     * @param dataSizeThresholdBytes  static-feature decision threshold
+     */
+    PlatformScheduler(const archsim::Platform& highFreq,
+                      const archsim::Platform& bigLlc,
+                      double dataSizeThresholdBytes);
+
+    /** Classify one model by its static feature. */
+    bool isLlcBound(const ppl::Model& model) const;
+
+    /** Choose the platform for one model. */
+    Placement place(const ppl::Model& model) const;
+
+    /** Decision threshold in bytes. */
+    double threshold() const { return thresholdBytes_; }
+
+  private:
+    const archsim::Platform* highFreq_;
+    const archsim::Platform* bigLlc_;
+    double thresholdBytes_;
+};
+
+} // namespace bayes::sched

@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Error-handling primitives shared across the BayesSuite libraries.
+ *
+ * Two tiers, mirroring gem5's fatal()/panic() distinction:
+ *  - BAYES_CHECK: user-facing precondition (bad configuration, invalid
+ *    argument). Throws bayes::Error so callers can recover or report.
+ *  - BAYES_ASSERT: internal invariant that should never fail regardless
+ *    of user input. Aborts (kept in release builds because samplers
+ *    silently producing garbage is worse than a crash).
+ */
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace bayes {
+
+/** Exception thrown for user-recoverable errors (bad config, bad data). */
+class Error : public std::runtime_error
+{
+  public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void
+throwCheckFailure(const char* expr, const char* file, int line,
+                  const std::string& msg)
+{
+    std::ostringstream os;
+    os << "BAYES_CHECK failed: (" << expr << ") at " << file << ":" << line;
+    if (!msg.empty())
+        os << " -- " << msg;
+    throw Error(os.str());
+}
+
+[[noreturn]] inline void
+assertFailure(const char* expr, const char* file, int line)
+{
+    std::fprintf(stderr, "BAYES_ASSERT failed: (%s) at %s:%d\n",
+                 expr, file, line);
+    std::abort();
+}
+
+} // namespace detail
+} // namespace bayes
+
+/** Validate a user-facing precondition; throws bayes::Error on failure. */
+#define BAYES_CHECK(expr, msg)                                               \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::std::ostringstream bayes_check_os_;                            \
+            bayes_check_os_ << msg;                                          \
+            ::bayes::detail::throwCheckFailure(#expr, __FILE__, __LINE__,    \
+                                               bayes_check_os_.str());       \
+        }                                                                    \
+    } while (0)
+
+/** Internal invariant; aborts on failure (active in all build types). */
+#define BAYES_ASSERT(expr)                                                   \
+    do {                                                                     \
+        if (!(expr)) {                                                       \
+            ::bayes::detail::assertFailure(#expr, __FILE__, __LINE__);       \
+        }                                                                    \
+    } while (0)

@@ -1,0 +1,158 @@
+#include "support/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace bayes {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = x;
+        max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats& other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (n_ < 2)
+        return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+RunningStats::reset()
+{
+    *this = RunningStats{};
+}
+
+double
+mean(const std::vector<double>& xs)
+{
+    BAYES_CHECK(!xs.empty(), "mean of empty sample");
+    double s = 0.0;
+    for (double x : xs)
+        s += x;
+    return s / static_cast<double>(xs.size());
+}
+
+double
+variance(const std::vector<double>& xs)
+{
+    BAYES_CHECK(xs.size() >= 2, "variance needs at least two observations");
+    const double m = mean(xs);
+    double s = 0.0;
+    for (double x : xs)
+        s += (x - m) * (x - m);
+    return s / static_cast<double>(xs.size() - 1);
+}
+
+double
+stddev(const std::vector<double>& xs)
+{
+    return std::sqrt(variance(xs));
+}
+
+double
+quantile(std::vector<double> xs, double q)
+{
+    BAYES_CHECK(!xs.empty(), "quantile of empty sample");
+    BAYES_CHECK(q >= 0.0 && q <= 1.0, "quantile level must be in [0,1]");
+    std::sort(xs.begin(), xs.end());
+    if (xs.size() == 1)
+        return xs[0];
+    const double h = q * static_cast<double>(xs.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(std::floor(h));
+    const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+    const double frac = h - static_cast<double>(lo);
+    return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+double
+geometricMean(const std::vector<double>& xs)
+{
+    BAYES_CHECK(!xs.empty(), "geometricMean of empty sample");
+    double logSum = 0.0;
+    for (double x : xs) {
+        BAYES_CHECK(x > 0.0, "geometricMean requires positive values");
+        logSum += std::log(x);
+    }
+    return std::exp(logSum / static_cast<double>(xs.size()));
+}
+
+double
+pearson(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    BAYES_CHECK(xs.size() == ys.size() && xs.size() >= 2,
+                "pearson requires equal-length samples of size >= 2");
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        const double dx = xs[i] - mx;
+        const double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    BAYES_CHECK(sxx > 0.0 && syy > 0.0,
+                "pearson requires nonzero variance in both samples");
+    return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit
+fitLeastSquares(const std::vector<double>& xs, const std::vector<double>& ys)
+{
+    BAYES_CHECK(xs.size() == ys.size() && xs.size() >= 2,
+                "fit requires equal-length samples of size >= 2");
+    const double mx = mean(xs);
+    const double my = mean(ys);
+    double sxy = 0.0, sxx = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        sxy += (xs[i] - mx) * (ys[i] - my);
+        sxx += (xs[i] - mx) * (xs[i] - mx);
+    }
+    BAYES_CHECK(sxx > 0.0, "fit requires nonzero variance in x");
+    const double slope = sxy / sxx;
+    return LinearFit{my - slope * mx, slope};
+}
+
+} // namespace bayes

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Small statistics utilities: Welford running moments, sample summaries
+ * (mean / sd / quantiles), and histogram binning. Used by diagnostics,
+ * the architecture simulator, and tests.
+ */
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bayes {
+
+/**
+ * Numerically stable single-pass accumulator of mean and variance
+ * (Welford's algorithm). O(1) memory; used both for posterior summaries
+ * and for the diagonal mass-matrix adaptation inside NUTS.
+ */
+class RunningStats
+{
+  public:
+    /** Fold one observation into the accumulator. */
+    void add(double x);
+
+    /** Merge another accumulator (parallel-friendly Chan et al. form). */
+    void merge(const RunningStats& other);
+
+    /** Number of observations folded in so far. */
+    std::size_t count() const { return n_; }
+
+    /** Sample mean; 0 when empty. */
+    double mean() const { return n_ ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 with fewer than two observations. */
+    double variance() const;
+
+    /** Square root of variance(). */
+    double stddev() const;
+
+    /** Smallest observation seen; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest observation seen; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Reset to the empty state. */
+    void reset();
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_;
+    double max_;
+};
+
+/** Arithmetic mean of a sample. @pre xs nonempty */
+double mean(const std::vector<double>& xs);
+
+/** Unbiased sample variance. @pre xs.size() >= 2 */
+double variance(const std::vector<double>& xs);
+
+/** Square root of variance(). */
+double stddev(const std::vector<double>& xs);
+
+/**
+ * Linear-interpolated quantile (type-7, the R default).
+ * @param xs  sample (not required to be sorted; copied internally)
+ * @param q   quantile in [0, 1]
+ */
+double quantile(std::vector<double> xs, double q);
+
+/** Geometric mean. @pre all xs > 0, xs nonempty */
+double geometricMean(const std::vector<double>& xs);
+
+/**
+ * Pearson correlation coefficient of two equal-length samples.
+ * @pre xs.size() == ys.size() >= 2 and both have nonzero variance
+ */
+double pearson(const std::vector<double>& xs, const std::vector<double>& ys);
+
+/**
+ * Ordinary least squares fit y = a + b*x.
+ * @return {intercept a, slope b}
+ * @pre xs.size() == ys.size() >= 2 with nonzero x variance
+ */
+struct LinearFit
+{
+    double intercept;
+    double slope;
+
+    /** Predict y at the given x. */
+    double predict(double x) const { return intercept + slope * x; }
+};
+
+LinearFit fitLeastSquares(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+} // namespace bayes

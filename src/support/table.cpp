@@ -1,0 +1,121 @@
+#include "support/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace bayes {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    BAYES_CHECK(!headers_.empty(), "table requires at least one column");
+}
+
+Table&
+Table::row()
+{
+    if (!rows_.empty()) {
+        BAYES_CHECK(rows_.back().size() == headers_.size(),
+                    "previous row has " << rows_.back().size()
+                    << " cells, expected " << headers_.size());
+    }
+    rows_.emplace_back();
+    return *this;
+}
+
+Table&
+Table::cell(const std::string& value)
+{
+    BAYES_CHECK(!rows_.empty(), "call row() before cell()");
+    BAYES_CHECK(rows_.back().size() < headers_.size(),
+                "row already has " << headers_.size() << " cells");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+Table&
+Table::cell(double value, int precision)
+{
+    return cell(formatFixed(value, precision));
+}
+
+Table&
+Table::cell(long value)
+{
+    return cell(std::to_string(value));
+}
+
+std::string
+Table::str() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto& row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string>& cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string& text = c < cells.size() ? cells[c] : "";
+            os << "  " << text
+               << std::string(widths[c] - text.size(), ' ');
+        }
+        os << '\n';
+    };
+    emit(headers_);
+    std::size_t total = 2;
+    for (std::size_t w : widths)
+        total += w + 2;
+    os << std::string(total, '-') << '\n';
+    for (const auto& row : rows_)
+        emit(row);
+    return os.str();
+}
+
+std::string
+Table::csv() const
+{
+    auto quoteIfNeeded = [](const std::string& s) {
+        if (s.find_first_of(",\"\n") == std::string::npos)
+            return s;
+        std::string out = "\"";
+        for (char ch : s) {
+            if (ch == '"')
+                out += '"';
+            out += ch;
+        }
+        out += '"';
+        return out;
+    };
+    std::ostringstream os;
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        os << (c ? "," : "") << quoteIfNeeded(headers_[c]);
+    os << '\n';
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c)
+            os << (c ? "," : "") << quoteIfNeeded(row[c]);
+        os << '\n';
+    }
+    return os.str();
+}
+
+std::string
+formatFixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+void
+printSection(const std::string& title, const Table& table)
+{
+    std::printf("\n== %s ==\n%s\n[csv]\n%s[/csv]\n",
+                title.c_str(), table.str().c_str(), table.csv().c_str());
+}
+
+} // namespace bayes

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Aligned console tables and CSV emission for the benchmark harness.
+ * Every figure/table bench prints (a) a human-readable aligned table and
+ * (b) a machine-readable CSV block, so results can be re-plotted.
+ */
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bayes {
+
+/**
+ * A simple column-aligned text table. Cells are strings; numeric
+ * convenience overloads format with a fixed precision.
+ */
+class Table
+{
+  public:
+    /** Create a table with the given column headers. */
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent cell() calls fill it left to right. */
+    Table& row();
+
+    /** Append a string cell to the current row. */
+    Table& cell(const std::string& value);
+
+    /** Append a numeric cell formatted to @p precision decimals. */
+    Table& cell(double value, int precision = 3);
+
+    /** Append an integer cell. */
+    Table& cell(long value);
+
+    /** Render as an aligned text table. */
+    std::string str() const;
+
+    /** Render as CSV (headers + rows, comma-separated, quoted minimally). */
+    std::string csv() const;
+
+    /** Number of completed or in-progress data rows. */
+    std::size_t rows() const { return rows_.size(); }
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (helper shared with benches). */
+std::string formatFixed(double value, int precision);
+
+/**
+ * Print a section banner followed by the table and its CSV twin to
+ * stdout; used uniformly by the figure benches.
+ */
+void printSection(const std::string& title, const Table& table);
+
+} // namespace bayes

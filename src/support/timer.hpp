@@ -1,0 +1,33 @@
+/**
+ * @file
+ * Wall-clock timer used for the (real) convergence-detection overhead
+ * measurement and for bench bookkeeping. Simulated latencies come from
+ * archsim, not from this timer.
+ */
+#pragma once
+
+#include <chrono>
+
+namespace bayes {
+
+/** Monotonic wall-clock stopwatch. */
+class Timer
+{
+  public:
+    Timer() : start_(Clock::now()) {}
+
+    /** Restart the stopwatch. */
+    void reset() { start_ = Clock::now(); }
+
+    /** Seconds elapsed since construction or the last reset(). */
+    double seconds() const
+    {
+        return std::chrono::duration<double>(Clock::now() - start_).count();
+    }
+
+  private:
+    using Clock = std::chrono::steady_clock;
+    Clock::time_point start_;
+};
+
+} // namespace bayes

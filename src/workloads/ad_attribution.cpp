@@ -1,0 +1,86 @@
+#include "workloads/ad_attribution.hpp"
+
+#include <cmath>
+
+#include "math/distributions.hpp"
+
+namespace bayes::workloads {
+
+AdAttribution::AdAttribution(double dataScale)
+    : Workload(
+          WorkloadInfo{
+              "ad", "Logistic Regression",
+              "Advertising attribution in the movie industry",
+              "Lei, Sanders & Dawson, StanCon 2017 [15]",
+              "survey: demographics + advertising channels seen",
+              /*defaultIterations=*/1400},
+          dataScale)
+{
+    Rng rng = dataRng();
+    numFeatures_ = 12; // 8 channels + 4 demographic covariates
+    const std::size_t n = scaled(420);
+
+    std::vector<double> betaTrue(numFeatures_);
+    for (auto& b : betaTrue)
+        b = rng.normal(0.0, 0.7);
+    const double interceptTrue = -0.8;
+
+    features_.resize(n * numFeatures_);
+    outcomes_.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        double eta = interceptTrue;
+        for (std::size_t k = 0; k < numFeatures_; ++k) {
+            // Channels (first 8) are binary exposures; demographics
+            // are standardized continuous covariates.
+            const double x =
+                k < 8 ? static_cast<double>(rng.bernoulli(0.35))
+                      : rng.normal(0.0, 1.0);
+            features_[i * numFeatures_ + k] = x;
+            eta += betaTrue[k] * x;
+        }
+        outcomes_[i] = rng.bernoulli(math::invLogit(eta));
+    }
+
+    setModeledDataBytes(features_.size() * sizeof(double)
+                        + outcomes_.size() * sizeof(int));
+
+    setLayout({
+        {"intercept", 1, ppl::TransformKind::Identity, 0, 0},
+        {"beta", numFeatures_, ppl::TransformKind::Identity, 0, 0},
+    });
+}
+
+template <typename T>
+T
+AdAttribution::logDensity(const ppl::ParamView<T>& p) const
+{
+    using namespace bayes::math;
+    const T& intercept = p.scalar(kIntercept);
+
+    T lp = normal_lpdf(intercept, 0.0, 2.0);
+    for (std::size_t k = 0; k < numFeatures_; ++k)
+        lp += normal_lpdf(p.at(kBeta, k), 0.0, 1.0);
+
+    for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+        T eta = intercept;
+        const double* row = &features_[i * numFeatures_];
+        for (std::size_t k = 0; k < numFeatures_; ++k)
+            eta += p.at(kBeta, k) * row[k];
+        lp += bernoulli_logit_lpmf(outcomes_[i], eta);
+    }
+    return lp;
+}
+
+double
+AdAttribution::logProb(const ppl::ParamView<double>& p) const
+{
+    return logDensity(p);
+}
+
+ad::Var
+AdAttribution::logProb(const ppl::ParamView<ad::Var>& p) const
+{
+    return logDensity(p);
+}
+
+} // namespace bayes::workloads

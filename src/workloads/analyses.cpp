@@ -1,0 +1,103 @@
+#include "workloads/analyses.hpp"
+
+#include <cmath>
+
+#include "math/linalg.hpp"
+#include "support/error.hpp"
+
+namespace bayes::workloads {
+namespace {
+
+/** Visit every pooled post-warmup draw of a run. */
+template <typename Fn>
+void
+forEachDraw(const samplers::RunResult& run, Fn&& fn)
+{
+    BAYES_CHECK(!run.chains.empty() && !run.chains[0].draws.empty(),
+                "run has no draws");
+    for (const auto& chain : run.chains)
+        for (const auto& draw : chain.draws)
+            fn(draw);
+}
+
+} // namespace
+
+std::vector<double>
+livesSavedPercent(const TwelveCities& workload,
+                  const samplers::RunResult& run)
+{
+    const auto& layout = workload.layout();
+    const std::size_t idx =
+        layout.offset(layout.blockIndex("beta_limit"));
+    std::vector<double> out;
+    forEachDraw(run, [&](const std::vector<double>& draw) {
+        out.push_back(100.0 * (1.0 - std::exp(draw[idx])));
+    });
+    return out;
+}
+
+std::vector<double>
+forecastPath(const VotesForecast& workload, const samplers::RunResult& run)
+{
+    const auto& layout = workload.layout();
+    const std::size_t meanIdx = layout.offset(layout.blockIndex("mean"));
+    const std::size_t alphaIdx = layout.offset(layout.blockIndex("alpha"));
+    const std::size_t rhoIdx = layout.offset(layout.blockIndex("rho"));
+    const std::size_t zIdx = layout.offset(layout.blockIndex("z"));
+    const std::size_t n = workload.numCycles();
+
+    std::vector<double> path(n, 0.0);
+    std::size_t draws = 0;
+    forEachDraw(run, [&](const std::vector<double>& draw) {
+        const auto k = math::gpCovSquaredExp(
+            workload.cycleYears(), draw[alphaIdx], draw[rhoIdx], 1e-6);
+        const auto l = math::cholesky(k);
+        std::vector<double> z(draw.begin() + zIdx,
+                              draw.begin() + zIdx + n);
+        const auto f = math::matVec(l, z);
+        for (std::size_t i = 0; i < n; ++i)
+            path[i] += draw[meanIdx] + f[i];
+        ++draws;
+    });
+    for (double& x : path)
+        x /= static_cast<double>(draws);
+    return path;
+}
+
+std::vector<double>
+expectedRichness(const ButterflyRichness& workload,
+                 const samplers::RunResult& run)
+{
+    const auto& layout = workload.layout();
+    const std::size_t occIdx = layout.offset(layout.blockIndex("occ"));
+    const std::size_t species = workload.numSpecies();
+    std::vector<double> out;
+    forEachDraw(run, [&](const std::vector<double>& draw) {
+        double richness = 0.0;
+        for (std::size_t s = 0; s < species; ++s)
+            richness += math::invLogit(draw[occIdx + s]);
+        out.push_back(richness);
+    });
+    return out;
+}
+
+std::vector<double>
+survivalRates(const AnimalSurvival& workload,
+              const samplers::RunResult& run)
+{
+    const auto& layout = workload.layout();
+    const std::size_t phiIdx = layout.offset(layout.blockIndex("phi_raw"));
+    const std::size_t intervals = workload.numOccasions() - 1;
+    std::vector<double> rates(intervals, 0.0);
+    std::size_t draws = 0;
+    forEachDraw(run, [&](const std::vector<double>& draw) {
+        for (std::size_t t = 0; t < intervals; ++t)
+            rates[t] += math::invLogit(draw[phiIdx + t]);
+        ++draws;
+    });
+    for (double& r : rates)
+        r /= static_cast<double>(draws);
+    return rates;
+}
+
+} // namespace bayes::workloads

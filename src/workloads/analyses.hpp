@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Derived ("generated") quantities for the BayesSuite workloads — the
+ * domain answers each application actually asks for, computed from
+ * posterior draws. These are the quantities whose stability under
+ * computation elision matters to end users (§VI's quality argument).
+ */
+#pragma once
+
+#include <vector>
+
+#include "samplers/types.hpp"
+#include "workloads/animal_survival.hpp"
+#include "workloads/butterfly_richness.hpp"
+#include "workloads/twelve_cities.hpp"
+#include "workloads/votes_forecast.hpp"
+
+namespace bayes::workloads {
+
+/**
+ * 12cities: percentage reduction in expected pedestrian deaths from
+ * lowering the speed limit, per posterior draw pooled across chains:
+ * 100 * (1 - exp(beta_limit)).
+ */
+std::vector<double> livesSavedPercent(const TwelveCities& workload,
+                                      const samplers::RunResult& run);
+
+/**
+ * votes: posterior mean forecast of the latent vote-share path at
+ * every cycle (historical + future), reconstructed from the
+ * non-centered GP draws.
+ * @return one value per cycle
+ */
+std::vector<double> forecastPath(const VotesForecast& workload,
+                                 const samplers::RunResult& run);
+
+/**
+ * butterfly: posterior expected species richness — the sum of
+ * occupancy probabilities across the species pool, per draw.
+ */
+std::vector<double> expectedRichness(const ButterflyRichness& workload,
+                                     const samplers::RunResult& run);
+
+/**
+ * survival: posterior mean survival probability per interval
+ * (inv_logit of the hierarchical logit-survival parameters).
+ * @return one value per inter-occasion interval
+ */
+std::vector<double> survivalRates(const AnimalSurvival& workload,
+                                  const samplers::RunResult& run);
+
+} // namespace bayes::workloads

@@ -1,0 +1,159 @@
+#include "workloads/animal_survival.hpp"
+
+#include <cmath>
+
+#include "math/distributions.hpp"
+
+namespace bayes::workloads {
+
+AnimalSurvival::AnimalSurvival(double dataScale)
+    : Workload(
+          WorkloadInfo{
+              "survival", "Cormack-Jolly-Seber",
+              "Estimating animal survival probabilities",
+              "Kery & Schaub, BPA 2011 [27]",
+              "capture-recapture histories of tagged animals",
+              /*defaultIterations=*/1200},
+          dataScale)
+{
+    Rng rng = dataRng();
+    numOccasions_ = 14;
+    numGroups_ = 20;
+    const std::size_t individuals = scaled(1700);
+
+    const double muPhiTrue = 1.1;   // survival ~0.75
+    const double sigmaPhiTrue = 0.3;
+    const double muPTrue = -0.4;    // recapture ~0.40
+    const double sigmaEpsTrue = 0.5;
+
+    std::vector<double> phiTrue(numOccasions_ - 1);
+    for (auto& f : phiTrue)
+        f = math::invLogit(rng.normal(muPhiTrue, sigmaPhiTrue));
+    std::vector<double> epsTrue(numGroups_);
+    for (auto& e : epsTrue)
+        e = rng.normal(0.0, sigmaEpsTrue);
+
+    history_.assign(individuals * numOccasions_, 0);
+    for (std::size_t i = 0; i < individuals; ++i) {
+        const int g = static_cast<int>(rng.uniformInt(numGroups_));
+        const int f =
+            static_cast<int>(rng.uniformInt(numOccasions_ - 2));
+        group_.push_back(g);
+        firstCapture_.push_back(f);
+        history_[i * numOccasions_ + static_cast<std::size_t>(f)] = 1;
+        int last = f;
+        bool alive = true;
+        for (std::size_t t = static_cast<std::size_t>(f) + 1;
+             t < numOccasions_ && alive; ++t) {
+            alive = rng.bernoulli(phiTrue[t - 1]) != 0;
+            if (!alive)
+                break;
+            const double pCap =
+                math::invLogit(muPTrue + epsTrue[static_cast<std::size_t>(g)]);
+            if (rng.bernoulli(pCap)) {
+                history_[i * numOccasions_ + t] = 1;
+                last = static_cast<int>(t);
+            }
+        }
+        lastSighting_.push_back(last);
+    }
+
+    setModeledDataBytes(history_.size() * sizeof(std::uint8_t)
+                        + (firstCapture_.size() + lastSighting_.size()
+                           + group_.size())
+                            * sizeof(int));
+
+    setLayout({
+        {"mu_phi", 1, ppl::TransformKind::Identity, 0, 0},
+        {"sigma_phi", 1, ppl::TransformKind::LowerBound, 0.0, 0},
+        {"phi_raw", numOccasions_ - 1, ppl::TransformKind::Identity, 0, 0},
+        {"mu_p", 1, ppl::TransformKind::Identity, 0, 0},
+        {"p_raw", numOccasions_ - 1, ppl::TransformKind::Identity, 0, 0},
+        {"sigma_eps", 1, ppl::TransformKind::LowerBound, 0.0, 0},
+        {"eps", numGroups_, ppl::TransformKind::Identity, 0, 0},
+    });
+}
+
+template <typename T>
+T
+AnimalSurvival::logDensity(const ppl::ParamView<T>& p) const
+{
+    using namespace bayes::math;
+    const T& muPhi = p.scalar(kMuPhi);
+    const T& sigmaPhi = p.scalar(kSigmaPhi);
+    const T& muP = p.scalar(kMuP);
+    const T& sigmaEps = p.scalar(kSigmaEps);
+    const std::size_t numT = numOccasions_;
+
+    T lp = normal_lpdf(muPhi, 0.0, 1.5) + normal_lpdf(sigmaPhi, 0.0, 1.0)
+        + normal_lpdf(muP, 0.0, 1.5) + normal_lpdf(sigmaEps, 0.0, 1.0);
+
+    // Hierarchical logit-scale survival and recapture parameters.
+    for (std::size_t t = 0; t + 1 < numT; ++t) {
+        lp += normal_lpdf(p.at(kPhiRaw, t), muPhi, sigmaPhi);
+        lp += normal_lpdf(p.at(kPRaw, t), 0.0, 1.5);
+    }
+    for (std::size_t g = 0; g < numGroups_; ++g)
+        lp += normal_lpdf(p.at(kEps, g), 0.0, sigmaEps);
+
+    // Interval survival probabilities (shared by all individuals).
+    std::vector<T> logPhi(numT - 1), log1mPhi(numT - 1);
+    for (std::size_t t = 0; t + 1 < numT; ++t) {
+        const T& raw = p.at(kPhiRaw, t);
+        logPhi[t] = -log1pExp(-raw);
+        log1mPhi[t] = -log1pExp(raw);
+    }
+
+    // Per-group recapture and the chi ("never seen again") recursion:
+    // chi[g][t] = P(not resighted after t | alive at t, group g).
+    std::vector<std::vector<T>> logP(numGroups_, std::vector<T>(numT - 1));
+    std::vector<std::vector<T>> log1mP(numGroups_,
+                                       std::vector<T>(numT - 1));
+    std::vector<std::vector<T>> chi(numGroups_, std::vector<T>(numT));
+    using std::exp;
+    using std::log;
+    using ad::exp;
+    using ad::log;
+    for (std::size_t g = 0; g < numGroups_; ++g) {
+        for (std::size_t t = 0; t + 1 < numT; ++t) {
+            // Recapture probability at occasion t+1 for group g.
+            const T eta = muP + p.at(kPRaw, t) + p.at(kEps, g);
+            logP[g][t] = -log1pExp(-eta);
+            log1mP[g][t] = -log1pExp(eta);
+        }
+        chi[g][numT - 1] = T(1.0);
+        for (std::size_t t = numT - 1; t-- > 0;) {
+            // chi_t = (1 - phi_t) + phi_t (1 - p_{t+1}) chi_{t+1}
+            const T survivedMissed =
+                exp(logPhi[t] + log1mP[g][t]) * chi[g][t + 1];
+            chi[g][t] = exp(log1mPhi[t]) + survivedMissed;
+        }
+    }
+
+    for (std::size_t i = 0; i < firstCapture_.size(); ++i) {
+        const auto f = static_cast<std::size_t>(firstCapture_[i]);
+        const auto l = static_cast<std::size_t>(lastSighting_[i]);
+        const auto g = static_cast<std::size_t>(group_[i]);
+        for (std::size_t t = f + 1; t <= l; ++t) {
+            lp += logPhi[t - 1];
+            lp += history_[i * numT + t] ? logP[g][t - 1]
+                                         : log1mP[g][t - 1];
+        }
+        lp += log(chi[g][l]);
+    }
+    return lp;
+}
+
+double
+AnimalSurvival::logProb(const ppl::ParamView<double>& p) const
+{
+    return logDensity(p);
+}
+
+ad::Var
+AnimalSurvival::logProb(const ppl::ParamView<ad::Var>& p) const
+{
+    return logDensity(p);
+}
+
+} // namespace bayes::workloads

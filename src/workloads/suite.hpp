@@ -1,0 +1,16 @@
+/**
+ * @file
+ * Umbrella header declaring all ten BayesSuite workloads (Table I).
+ */
+#pragma once
+
+#include "workloads/ad_attribution.hpp"
+#include "workloads/animal_survival.hpp"
+#include "workloads/butterfly_richness.hpp"
+#include "workloads/disease_progression.hpp"
+#include "workloads/memory_retrieval.hpp"
+#include "workloads/pkpd_ode.hpp"
+#include "workloads/racial_threshold.hpp"
+#include "workloads/tickets_quota.hpp"
+#include "workloads/twelve_cities.hpp"
+#include "workloads/votes_forecast.hpp"

@@ -1,0 +1,108 @@
+#include "workloads/twelve_cities.hpp"
+
+#include <cmath>
+
+#include "math/distributions.hpp"
+
+namespace bayes::workloads {
+
+TwelveCities::TwelveCities(double dataScale)
+    : Workload(
+          WorkloadInfo{
+              "12cities", "Poisson Regression",
+              "Does lowering speed limits save pedestrian lives?",
+              "Auerbach et al. 2017 [13]",
+              "FARS-style city/year pedestrian fatality panel",
+              /*defaultIterations=*/2000},
+          dataScale)
+{
+    Rng rng = dataRng();
+    numCities_ = 12;
+    const std::size_t years = scaled(16);
+
+    // Ground-truth generative process.
+    const double muAlphaTrue = 2.1;
+    const double sigmaAlphaTrue = 0.35;
+    const double trendTrue = -0.015;
+    std::vector<double> alphaTrue(numCities_);
+    std::vector<double> popExposure(numCities_);
+    std::vector<std::size_t> loweredAt(numCities_);
+    for (std::size_t c = 0; c < numCities_; ++c) {
+        alphaTrue[c] = rng.normal(muAlphaTrue, sigmaAlphaTrue);
+        popExposure[c] = rng.uniform(0.4, 4.0); // millions of residents
+        // A third of the cities never lower the limit.
+        loweredAt[c] = rng.uniform() < 0.33
+            ? years + 1
+            : static_cast<std::size_t>(rng.uniformInt(years / 2)) + years / 4;
+    }
+
+    for (std::size_t c = 0; c < numCities_; ++c) {
+        for (std::size_t y = 0; y < years; ++y) {
+            const double yearC =
+                (static_cast<double>(y) - static_cast<double>(years) / 2.0);
+            const double lowered = y >= loweredAt[c] ? 1.0 : 0.0;
+            const double logMu = alphaTrue[c] + kTrueLimitEffect * lowered
+                + trendTrue * yearC + std::log(popExposure[c]);
+            deaths_.push_back(rng.poisson(std::exp(logMu)));
+            city_.push_back(static_cast<int>(c));
+            limitLowered_.push_back(lowered);
+            yearCentered_.push_back(yearC);
+            logExposure_.push_back(std::log(popExposure[c]));
+        }
+    }
+
+    setModeledDataBytes(deaths_.size() * sizeof(long)
+                        + city_.size() * sizeof(int)
+                        + (limitLowered_.size() + yearCentered_.size()
+                           + logExposure_.size())
+                            * sizeof(double));
+
+    setLayout({
+        {"mu_alpha", 1, ppl::TransformKind::Identity, 0, 0},
+        {"sigma_alpha", 1, ppl::TransformKind::LowerBound, 0.0, 0},
+        {"alpha", numCities_, ppl::TransformKind::Identity, 0, 0},
+        {"beta_limit", 1, ppl::TransformKind::Identity, 0, 0},
+        {"beta_trend", 1, ppl::TransformKind::Identity, 0, 0},
+    });
+}
+
+template <typename T>
+T
+TwelveCities::logDensity(const ppl::ParamView<T>& p) const
+{
+    using namespace bayes::math;
+    const T& muAlpha = p.scalar(kMuAlpha);
+    const T& sigmaAlpha = p.scalar(kSigmaAlpha);
+    const T& betaLimit = p.scalar(kBetaLimit);
+    const T& betaTrend = p.scalar(kBetaTrend);
+
+    T lp = normal_lpdf(muAlpha, 0.0, 5.0)
+        + normal_lpdf(sigmaAlpha, 0.0, 2.0) // half-normal via LowerBound
+        + normal_lpdf(betaLimit, 0.0, 1.0)
+        + normal_lpdf(betaTrend, 0.0, 1.0);
+
+    for (std::size_t c = 0; c < numCities_; ++c)
+        lp += normal_lpdf(p.at(kAlpha, c), muAlpha, sigmaAlpha);
+
+    for (std::size_t i = 0; i < deaths_.size(); ++i) {
+        const T eta = p.at(kAlpha, static_cast<std::size_t>(city_[i]))
+            + betaLimit * limitLowered_[i] + betaTrend * yearCentered_[i]
+            + logExposure_[i];
+        lp += poisson_log_lpmf(deaths_[i], eta);
+    }
+    return lp;
+}
+
+double
+TwelveCities::logProb(const ppl::ParamView<double>& p) const
+{
+    return logDensity(p);
+}
+
+ad::Var
+TwelveCities::logProb(const ppl::ParamView<ad::Var>& p) const
+{
+    return logDensity(p);
+}
+
+} // namespace bayes::workloads

@@ -1,0 +1,79 @@
+#include "workloads/workload.hpp"
+
+#include <algorithm>
+#include <functional>
+
+#include "workloads/suite.hpp"
+
+namespace bayes::workloads {
+
+Workload::Workload(WorkloadInfo info, double dataScale)
+    : info_(std::move(info)), dataScale_(dataScale)
+{
+    BAYES_CHECK(dataScale_ > 0.0 && dataScale_ <= 1.0,
+                "dataScale must be in (0, 1]");
+}
+
+Rng
+Workload::dataRng() const
+{
+    // Stable per-workload stream: hash the name, not the address.
+    const std::uint64_t h = std::hash<std::string>{}(info_.name);
+    return Rng(0xba5e5c01dULL ^ h);
+}
+
+std::size_t
+Workload::scaled(std::size_t n) const
+{
+    const auto m = static_cast<std::size_t>(
+        static_cast<double>(n) * dataScale_ + 0.5);
+    return std::max<std::size_t>(4, m);
+}
+
+const std::vector<std::string>&
+suiteNames()
+{
+    static const std::vector<std::string> names = {
+        "12cities", "ad",      "ode",    "memory",    "votes",
+        "tickets",  "disease", "racial", "butterfly", "survival",
+    };
+    return names;
+}
+
+std::unique_ptr<Workload>
+makeWorkload(const std::string& name, double dataScale)
+{
+    if (name == "12cities")
+        return std::make_unique<TwelveCities>(dataScale);
+    if (name == "ad")
+        return std::make_unique<AdAttribution>(dataScale);
+    if (name == "ode")
+        return std::make_unique<PkpdOde>(dataScale);
+    if (name == "memory")
+        return std::make_unique<MemoryRetrieval>(dataScale);
+    if (name == "votes")
+        return std::make_unique<VotesForecast>(dataScale);
+    if (name == "tickets")
+        return std::make_unique<TicketsQuota>(dataScale);
+    if (name == "disease")
+        return std::make_unique<DiseaseProgression>(dataScale);
+    if (name == "racial")
+        return std::make_unique<RacialThreshold>(dataScale);
+    if (name == "butterfly")
+        return std::make_unique<ButterflyRichness>(dataScale);
+    if (name == "survival")
+        return std::make_unique<AnimalSurvival>(dataScale);
+    throw Error("unknown BayesSuite workload '" + name + "'");
+}
+
+std::vector<std::unique_ptr<Workload>>
+makeSuite(double dataScale)
+{
+    std::vector<std::unique_ptr<Workload>> suite;
+    suite.reserve(suiteNames().size());
+    for (const auto& name : suiteNames())
+        suite.push_back(makeWorkload(name, dataScale));
+    return suite;
+}
+
+} // namespace bayes::workloads

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * BayesSuite workload base class and registry. A Workload is a
+ * ppl::Model plus the metadata from the paper's Table I (model family,
+ * application, data description) and the original user-facing run
+ * configuration (chains, iterations) whose excess the elision study
+ * measures.
+ *
+ * Every workload generates its own synthetic dataset deterministically
+ * from a per-workload seed. A dataScale in (0, 1] shrinks the dataset
+ * (Fig. 3's "-h" and "-q" variants use 0.5 and 0.25).
+ */
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ppl/model.hpp"
+#include "support/rng.hpp"
+
+namespace bayes::workloads {
+
+/** Table-I style metadata for one workload. */
+struct WorkloadInfo
+{
+    std::string name;
+    std::string modelFamily;
+    std::string application;
+    std::string source;
+    std::string dataDescription;
+    /** Iterations the original model developer configured. */
+    int defaultIterations = 2000;
+    /** Chains per the Brooks et al. recommendation the paper follows. */
+    int defaultChains = 4;
+};
+
+/** Base class for all BayesSuite workloads. */
+class Workload : public ppl::Model
+{
+  public:
+    /**
+     * @param info       Table-I metadata
+     * @param dataScale  dataset shrink factor in (0, 1]
+     */
+    Workload(WorkloadInfo info, double dataScale);
+
+    const std::string& name() const override { return info_.name; }
+    const ppl::ParamLayout& layout() const override { return layout_; }
+    std::size_t modeledDataBytes() const override { return dataBytes_; }
+
+    /** Table-I metadata. */
+    const WorkloadInfo& info() const { return info_; }
+
+    /** Dataset shrink factor. */
+    double dataScale() const { return dataScale_; }
+
+  protected:
+    /** Install the parameter layout (call once from the constructor). */
+    void
+    setLayout(std::vector<ppl::ParamBlock> blocks)
+    {
+        layout_ = ppl::ParamLayout(std::move(blocks));
+    }
+
+    /** Record the total bytes of observed (modeled) data. */
+    void setModeledDataBytes(std::size_t bytes) { dataBytes_ = bytes; }
+
+    /** Deterministic data-generation stream for this workload. */
+    Rng dataRng() const;
+
+    /** Scale an element count by dataScale (floor 4). */
+    std::size_t scaled(std::size_t n) const;
+
+  private:
+    WorkloadInfo info_;
+    ppl::ParamLayout layout_;
+    double dataScale_;
+    std::size_t dataBytes_ = 0;
+};
+
+/** Names of the ten BayesSuite workloads in the paper's Table I order. */
+const std::vector<std::string>& suiteNames();
+
+/**
+ * Instantiate a workload by name.
+ * @param name       one of suiteNames()
+ * @param dataScale  dataset shrink factor in (0, 1]
+ * @throws bayes::Error for unknown names
+ */
+std::unique_ptr<Workload> makeWorkload(const std::string& name,
+                                       double dataScale = 1.0);
+
+/** Instantiate the full suite in Table I order. */
+std::vector<std::unique_ptr<Workload>> makeSuite(double dataScale = 1.0);
+
+} // namespace bayes::workloads

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * Accelerator-model tests: monotonicity in lanes/SFUs, Amdahl ceiling,
+ * bandwidth bound, and the SFU advantage on transcendental-heavy mixes.
+ */
+#include <gtest/gtest.h>
+
+#include "archsim/accelerator.hpp"
+
+namespace bayes::archsim {
+namespace {
+
+EvalProfile
+mixProfile(std::uint64_t addMul, std::uint64_t div, std::uint64_t special,
+           std::size_t dataBytes = 0)
+{
+    EvalProfile p;
+    p.tapeNodes = addMul + div + special;
+    p.opCounts[static_cast<int>(ad::OpClass::AddSub)] = addMul / 2;
+    p.opCounts[static_cast<int>(ad::OpClass::Mul)] = addMul - addMul / 2;
+    p.opCounts[static_cast<int>(ad::OpClass::Div)] = div;
+    p.opCounts[static_cast<int>(ad::OpClass::Special)] = special;
+    p.dim = 16;
+    p.dataBytes = dataBytes;
+    return p;
+}
+
+TEST(Accelerator, MoreLanesGoFaster)
+{
+    // Small enough to stay scratchpad-resident (compute-bound regime).
+    const auto profile = mixProfile(20000, 0, 0);
+    auto narrow = AcceleratorSpec::simdSfu();
+    narrow.lanes = 8;
+    auto wide = AcceleratorSpec::simdSfu();
+    wide.lanes = 128;
+    const auto slow = estimateAccelerator(profile, narrow, 1e-4);
+    const auto fast = estimateAccelerator(profile, wide, 1e-4);
+    EXPECT_LT(fast.cyclesPerEval, slow.cyclesPerEval);
+}
+
+TEST(Accelerator, AmdahlBoundsTheSpeedup)
+{
+    const auto profile = mixProfile(100000, 0, 0);
+    auto huge = AcceleratorSpec::simdSfu();
+    huge.lanes = 1 << 20;
+    huge.serialFraction = 0.05;
+    const auto est = estimateAccelerator(profile, huge, 1.0);
+    // Serial floor: cycles >= serialFraction * 2 * ops.
+    EXPECT_GE(est.cyclesPerEval, 0.05 * 2.0 * 100000 - 1.0);
+}
+
+TEST(Accelerator, SfusHelpTranscendentalMixes)
+{
+    const auto heavy = mixProfile(8000, 0, 8000);
+    const auto withSfu = estimateAccelerator(
+        heavy, AcceleratorSpec::simdSfu(), 1e-4);
+    const auto without = estimateAccelerator(
+        heavy, AcceleratorSpec::simdOnly(), 1e-4);
+    EXPECT_GT(withSfu.speedupVsCpu, without.speedupVsCpu);
+}
+
+TEST(Accelerator, SfusIrrelevantForPureArithmetic)
+{
+    const auto plain = mixProfile(40000, 0, 0);
+    const auto withSfu = estimateAccelerator(
+        plain, AcceleratorSpec::simdSfu(), 1e-4);
+    const auto without = estimateAccelerator(
+        plain, AcceleratorSpec::simdOnly(), 1e-4);
+    EXPECT_NEAR(withSfu.cyclesPerEval, without.cyclesPerEval, 1e-9);
+}
+
+TEST(Accelerator, LargeWorkingSetsBecomeBandwidthBound)
+{
+    // 4M nodes * 32B = 128 MB working set >> any scratchpad.
+    const auto big = mixProfile(4000000, 0, 0, 64 * 1024 * 1024);
+    auto spec = AcceleratorSpec::simdSfu();
+    spec.dramBWGBps = 10.0; // starve it
+    const auto est = estimateAccelerator(big, spec, 1.0);
+    EXPECT_TRUE(est.bandwidthBound);
+}
+
+TEST(Accelerator, SmallWorkingSetsAreComputeBound)
+{
+    const auto small = mixProfile(5000, 100, 500, 1024);
+    const auto est = estimateAccelerator(
+        small, AcceleratorSpec::simdSfu(), 1e-4);
+    EXPECT_FALSE(est.bandwidthBound);
+    EXPECT_GT(est.speedupVsCpu, 1.0);
+}
+
+TEST(Accelerator, PresetsAreDistinct)
+{
+    EXPECT_EQ(AcceleratorSpec::simdSfu().name, "SIMD+SFU");
+    EXPECT_EQ(AcceleratorSpec::simdOnly().sfus, 0);
+    EXPECT_GT(AcceleratorSpec::gpuLike().lanes,
+              AcceleratorSpec::simdSfu().lanes);
+}
+
+TEST(Accelerator, ValidatesArguments)
+{
+    const auto profile = mixProfile(1000, 0, 0);
+    auto bad = AcceleratorSpec::simdSfu();
+    bad.lanes = 0;
+    EXPECT_THROW(estimateAccelerator(profile, bad, 1.0), Error);
+    EXPECT_THROW(estimateAccelerator(profile,
+                                     AcceleratorSpec::simdSfu(), 0.0),
+                 Error);
+}
+
+} // namespace
+} // namespace bayes::archsim

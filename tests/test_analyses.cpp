@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Tests for the derived-quantity analyses: each should recover the
+ * value implied by the workload's generative ground truth.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/special.hpp"
+#include "samplers/runner.hpp"
+#include "support/stats.hpp"
+#include "workloads/analyses.hpp"
+
+namespace bayes::workloads {
+namespace {
+
+samplers::RunResult
+sample(const ppl::Model& wl, int iterations)
+{
+    samplers::Config cfg;
+    cfg.chains = 2;
+    cfg.iterations = iterations;
+    cfg.seed = 777;
+    return samplers::run(wl, cfg);
+}
+
+TEST(Analyses, LivesSavedMatchesGeneratedEffect)
+{
+    TwelveCities wl;
+    const auto run = sample(wl, 600);
+    const auto saved = livesSavedPercent(wl, run);
+    ASSERT_EQ(saved.size(), 2u * 300u);
+    // True effect: 1 - exp(-0.18) = 16.5% fewer deaths.
+    EXPECT_NEAR(mean(saved),
+                100.0 * (1.0 - std::exp(TwelveCities::kTrueLimitEffect)),
+                8.0);
+}
+
+TEST(Analyses, ForecastPathTracksObservations)
+{
+    VotesForecast wl;
+    const auto run = sample(wl, 600);
+    const auto path = forecastPath(wl, run);
+    ASSERT_EQ(path.size(), wl.numCycles());
+    // Forecast must be finite everywhere and smooth-ish: no two
+    // neighboring cycles differ by more than the GP amplitude scale.
+    for (std::size_t i = 0; i < path.size(); ++i)
+        EXPECT_TRUE(std::isfinite(path[i]));
+    for (std::size_t i = 1; i < path.size(); ++i)
+        EXPECT_LT(std::fabs(path[i] - path[i - 1]), 1.5);
+}
+
+TEST(Analyses, RichnessLiesWithinSpeciesPool)
+{
+    ButterflyRichness wl;
+    const auto run = sample(wl, 500);
+    const auto richness = expectedRichness(wl, run);
+    for (double r : richness) {
+        EXPECT_GT(r, 0.0);
+        EXPECT_LT(r, static_cast<double>(wl.numSpecies()));
+    }
+    // Community mean occupancy was generated at logit ~0.2 -> ~55%.
+    EXPECT_NEAR(mean(richness) / static_cast<double>(wl.numSpecies()),
+                math::invLogit(0.2), 0.15);
+}
+
+TEST(Analyses, SurvivalRatesNearGeneratedValue)
+{
+    AnimalSurvival wl(0.5);
+    const auto run = sample(wl, 500);
+    const auto rates = survivalRates(wl, run);
+    ASSERT_EQ(rates.size(), wl.numOccasions() - 1);
+    // Generated mean survival: inv_logit(1.1) ~ 0.75.
+    double avg = 0;
+    for (double r : rates) {
+        EXPECT_GT(r, 0.3);
+        EXPECT_LT(r, 1.0);
+        avg += r;
+    }
+    avg /= static_cast<double>(rates.size());
+    EXPECT_NEAR(avg, math::invLogit(1.1), 0.12);
+}
+
+TEST(Analyses, EmptyRunIsRejected)
+{
+    TwelveCities wl;
+    samplers::RunResult empty;
+    EXPECT_THROW(livesSavedPercent(wl, empty), Error);
+}
+
+} // namespace
+} // namespace bayes::workloads

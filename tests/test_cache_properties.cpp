@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Parameterized property tests of the cache model across geometries:
+ * invariants that must hold for any (size, ways) combination.
+ */
+#include <gtest/gtest.h>
+
+#include "archsim/cache.hpp"
+#include "support/rng.hpp"
+
+namespace bayes::archsim {
+namespace {
+
+class CacheGeometryTest
+    : public ::testing::TestWithParam<std::tuple<std::uint64_t,
+                                                 std::uint32_t>>
+{
+  protected:
+    CacheConfig
+    config() const
+    {
+        const auto [size, ways] = GetParam();
+        return CacheConfig{size, 64, ways};
+    }
+};
+
+TEST_P(CacheGeometryTest, GeometryIsConsistent)
+{
+    CacheModel cache(config());
+    const auto cfg = config();
+    EXPECT_EQ(static_cast<std::uint64_t>(cache.numSets()) * cfg.ways * 64,
+              cfg.sizeBytes);
+}
+
+TEST_P(CacheGeometryTest, WorkingSetAtCapacityFullyHitsAfterWarmup)
+{
+    CacheModel cache(config());
+    const auto cfg = config();
+    // Touch exactly capacity worth of distinct lines, twice.
+    for (int round = 0; round < 2; ++round)
+        for (std::uint64_t a = 0; a < cfg.sizeBytes; a += 64)
+            cache.access(a, false);
+    // Second round must be all hits: misses == cold misses only.
+    EXPECT_EQ(cache.stats().misses, cfg.sizeBytes / 64);
+}
+
+TEST_P(CacheGeometryTest, MissesNeverExceedAccesses)
+{
+    CacheModel cache(config());
+    Rng rng(11);
+    for (int i = 0; i < 20000; ++i)
+        cache.access(rng.nextU64() & 0x3fffc0ull, rng.bernoulli(0.3));
+    EXPECT_LE(cache.stats().misses, cache.stats().accesses);
+    EXPECT_LE(cache.stats().writebacks, cache.stats().misses);
+}
+
+TEST_P(CacheGeometryTest, SingleLineAlwaysHitsAfterFill)
+{
+    CacheModel cache(config());
+    cache.access(0x1000, false);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_TRUE(cache.access(0x1000, i % 2 == 0));
+}
+
+TEST_P(CacheGeometryTest, DisjointSetsDoNotInterfere)
+{
+    CacheModel cache(config());
+    const auto cfg = config();
+    if (cache.numSets() < 2)
+        GTEST_SKIP() << "needs at least two sets";
+    // Fill set 0 to capacity + 1 (conflict), while touching set 1 once.
+    const std::uint64_t setStride = cache.numSets() * 64ull;
+    cache.access(64, false); // set 1 resident
+    for (std::uint32_t w = 0; w <= cfg.ways; ++w)
+        cache.access(w * setStride, false);
+    // Set 1's line must be untouched by set 0's conflicts.
+    EXPECT_TRUE(cache.access(64, false));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, CacheGeometryTest,
+    ::testing::Values(std::make_tuple(1024ull, 1u),
+                      std::make_tuple(4096ull, 4u),
+                      std::make_tuple(32768ull, 8u),
+                      std::make_tuple(1048576ull, 16u),
+                      std::make_tuple(5242880ull, 20u)), // Broadwell LLC
+    [](const auto& info) {
+        return "s" + std::to_string(std::get<0>(info.param)) + "w"
+            + std::to_string(std::get<1>(info.param));
+    });
+
+} // namespace
+} // namespace bayes::archsim

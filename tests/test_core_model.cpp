@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Core timing model tests: monotonicity in op mix and misses, the FMA
+ * fusion bonus, i-cache footprint behavior, and metric floors.
+ */
+#include <gtest/gtest.h>
+
+#include "archsim/core.hpp"
+
+namespace bayes::archsim {
+namespace {
+
+EvalProfile
+profileWith(std::size_t nodes, std::uint64_t special, std::uint64_t div,
+            std::uint64_t mul = 0, std::uint64_t add = 0)
+{
+    EvalProfile p;
+    p.tapeNodes = nodes;
+    p.opCounts[static_cast<int>(ad::OpClass::Special)] = special;
+    p.opCounts[static_cast<int>(ad::OpClass::Div)] = div;
+    p.opCounts[static_cast<int>(ad::OpClass::Mul)] = mul;
+    p.opCounts[static_cast<int>(ad::OpClass::AddSub)] = add;
+    p.dim = 10;
+    p.dataBytes = 1000;
+    return p;
+}
+
+TEST(CoreModel, InstructionsScaleWithNodes)
+{
+    const auto platform = Platform::skylake();
+    const EvalMemStats mem;
+    const auto small = evalCost(profileWith(1000, 0, 0), mem, platform);
+    const auto large = evalCost(profileWith(2000, 0, 0), mem, platform);
+    EXPECT_GT(large.instructions, small.instructions);
+    EXPECT_NEAR(large.instructions - small.instructions, 1000.0 * 15.0,
+                1.0);
+}
+
+TEST(CoreModel, SpecialOpsLowerIpc)
+{
+    const auto platform = Platform::skylake();
+    const EvalMemStats mem;
+    const auto plain = evalCost(profileWith(1000, 0, 0), mem, platform);
+    const auto heavy = evalCost(profileWith(1000, 400, 0), mem, platform);
+    EXPECT_LT(heavy.ipc(), plain.ipc());
+    EXPECT_GT(heavy.branchMpki, plain.branchMpki);
+}
+
+TEST(CoreModel, DivOpsLowerIpc)
+{
+    const auto platform = Platform::skylake();
+    const EvalMemStats mem;
+    const auto plain = evalCost(profileWith(1000, 0, 0), mem, platform);
+    const auto heavy = evalCost(profileWith(1000, 0, 400), mem, platform);
+    EXPECT_LT(heavy.ipc(), plain.ipc());
+}
+
+TEST(CoreModel, FmaFusionRaisesIpcForMulAddMixes)
+{
+    const auto platform = Platform::skylake();
+    const EvalMemStats mem;
+    const auto fused =
+        evalCost(profileWith(1000, 0, 0, 450, 450), mem, platform);
+    const auto unfusable =
+        evalCost(profileWith(1000, 0, 0, 0, 900), mem, platform);
+    EXPECT_GT(fused.ipc(), unfusable.ipc());
+}
+
+TEST(CoreModel, DemandMissesAddLatency)
+{
+    const auto platform = Platform::skylake();
+    EvalMemStats clean;
+    EvalMemStats missy;
+    missy.demandLlcMisses = 500;
+    const auto base = evalCost(profileWith(1000, 0, 0), clean, platform);
+    const auto slow = evalCost(profileWith(1000, 0, 0), missy, platform);
+    EXPECT_GT(slow.cycles, base.cycles);
+    EXPECT_LT(slow.ipc(), base.ipc());
+    EXPECT_GT(slow.llcMpki, base.llcMpki);
+}
+
+TEST(CoreModel, StreamMissesCountTowardTrafficNotMpki)
+{
+    const auto platform = Platform::skylake();
+    EvalMemStats streamy;
+    streamy.streamLlcMisses = 1000;
+    const auto cost = evalCost(profileWith(1000, 0, 0), streamy, platform);
+    // Late-prefetch fraction only: far below the 1000-miss demand rate.
+    EXPECT_LT(cost.llcMpki, 1000.0 / cost.instructions * 1000.0 * 0.5);
+    EXPECT_GE(cost.llcTrafficBytes, 1000.0 * 64.0);
+}
+
+TEST(CoreModel, LlcMpkiHasFloor)
+{
+    const auto platform = Platform::skylake();
+    const EvalMemStats mem;
+    const auto cost = evalCost(profileWith(1000, 0, 0), mem, platform);
+    EXPECT_GE(cost.llcMpki, CoreParams{}.llcMpkiFloor);
+}
+
+TEST(CoreModel, SmallModelsFitTheIcache)
+{
+    const auto platform = Platform::skylake();
+    const EvalMemStats mem;
+    const auto small = evalCost(profileWith(2000, 0, 0), mem, platform);
+    EXPECT_NEAR(small.icacheMpki, 0.06, 1e-9);
+}
+
+TEST(CoreModel, LargeModelsMissTheIcache)
+{
+    const auto platform = Platform::skylake();
+    const EvalMemStats mem;
+    const auto big = evalCost(profileWith(40000, 0, 0), mem, platform);
+    EXPECT_GT(big.icacheMpki, 1.0);
+    EXPECT_LE(big.icacheMpki, CoreParams{}.icacheMissCeiling);
+}
+
+TEST(CoreModel, IpcBoundedByIssueWidth)
+{
+    const auto platform = Platform::skylake();
+    const EvalMemStats mem;
+    const auto cost = evalCost(profileWith(5000, 0, 0), mem, platform);
+    EXPECT_GT(cost.ipc(), 0.2);
+    EXPECT_LT(cost.ipc(), 1.0 / CoreParams{}.baseCpi + 0.01);
+}
+
+} // namespace
+} // namespace bayes::archsim

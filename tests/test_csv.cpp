@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Draws-CSV round-trip tests.
+ */
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "io/csv.hpp"
+#include "support/error.hpp"
+
+namespace bayes {
+namespace {
+
+samplers::RunResult
+smallRun()
+{
+    samplers::RunResult run;
+    run.chains.resize(2);
+    run.chains[0].draws = {{1.0, 2.0}, {3.0, 4.0}};
+    run.chains[1].draws = {{-1.5, 0.25}};
+    return run;
+}
+
+ppl::ParamLayout
+smallLayout()
+{
+    return ppl::ParamLayout({
+        {"mu", 1, ppl::TransformKind::Identity, 0, 0},
+        {"sigma", 1, ppl::TransformKind::Identity, 0, 0},
+    });
+}
+
+TEST(Csv, HeaderUsesCoordinateNames)
+{
+    std::ostringstream out;
+    writeDrawsCsv(out, smallRun(), smallLayout());
+    EXPECT_EQ(out.str().substr(0, out.str().find('\n')),
+              "chain,draw,mu,sigma");
+}
+
+TEST(Csv, RoundTripPreservesValues)
+{
+    std::ostringstream out;
+    const auto run = smallRun();
+    writeDrawsCsv(out, run, smallLayout());
+    std::istringstream in(out.str());
+    const auto chains = readDrawsCsv(in);
+    ASSERT_EQ(chains.size(), 2u);
+    ASSERT_EQ(chains[0].size(), 2u);
+    ASSERT_EQ(chains[1].size(), 1u);
+    EXPECT_EQ(chains[0][1], (std::vector<double>{3.0, 4.0}));
+    EXPECT_EQ(chains[1][0], (std::vector<double>{-1.5, 0.25}));
+}
+
+TEST(Csv, RoundTripPreservesFullPrecision)
+{
+    samplers::RunResult run;
+    run.chains.resize(1);
+    run.chains[0].draws = {{1.0 / 3.0, 2.0e-17}};
+    std::ostringstream out;
+    writeDrawsCsv(out, run, smallLayout());
+    std::istringstream in(out.str());
+    const auto chains = readDrawsCsv(in);
+    EXPECT_DOUBLE_EQ(chains[0][0][0], 1.0 / 3.0);
+    EXPECT_DOUBLE_EQ(chains[0][0][1], 2.0e-17);
+}
+
+TEST(Csv, RejectsEmptyInput)
+{
+    std::istringstream empty("");
+    EXPECT_THROW(readDrawsCsv(empty), Error);
+    std::istringstream headerOnly("chain,draw,x\n");
+    EXPECT_THROW(readDrawsCsv(headerOnly), Error);
+}
+
+TEST(Csv, RejectsRaggedRows)
+{
+    std::istringstream bad("chain,draw,a,b\n0,0,1.0\n");
+    EXPECT_THROW(readDrawsCsv(bad), Error);
+}
+
+TEST(Csv, RejectsDimensionMismatchOnWrite)
+{
+    samplers::RunResult run;
+    run.chains.resize(1);
+    run.chains[0].draws = {{1.0}}; // layout wants 2 coords
+    std::ostringstream out;
+    EXPECT_THROW(writeDrawsCsv(out, run, smallLayout()), Error);
+}
+
+TEST(Csv, WriteToBadPathThrows)
+{
+    EXPECT_THROW(
+        writeDrawsCsv("/nonexistent-dir/x.csv", smallRun(), smallLayout()),
+        Error);
+}
+
+} // namespace
+} // namespace bayes

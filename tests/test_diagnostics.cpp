@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Diagnostic tests: Gelman-Rubin split R-hat on synthetic chains,
+ * effective sample size on iid vs autocorrelated draws, Gaussian KL,
+ * and posterior summaries.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "diagnostics/convergence.hpp"
+#include "diagnostics/summary.hpp"
+#include "support/rng.hpp"
+
+namespace bayes::diagnostics {
+namespace {
+
+std::vector<double>
+iidNormal(Rng& rng, std::size_t n, double mean = 0.0, double sd = 1.0)
+{
+    std::vector<double> xs(n);
+    for (auto& x : xs)
+        x = rng.normal(mean, sd);
+    return xs;
+}
+
+TEST(Rhat, NearOneForIdenticallyDistributedChains)
+{
+    Rng rng(1);
+    std::vector<std::vector<double>> chains;
+    for (int c = 0; c < 4; ++c)
+        chains.push_back(iidNormal(rng, 500));
+    EXPECT_LT(splitRhat(chains), 1.02);
+}
+
+TEST(Rhat, LargeForShiftedChains)
+{
+    Rng rng(2);
+    std::vector<std::vector<double>> chains;
+    for (int c = 0; c < 4; ++c)
+        chains.push_back(iidNormal(rng, 500, c * 3.0));
+    EXPECT_GT(splitRhat(chains), 2.0);
+}
+
+TEST(Rhat, SplitDetectsWithinChainDrift)
+{
+    // One chain whose mean drifts: non-split R-hat would miss this with
+    // a single chain; split form must flag it.
+    Rng rng(3);
+    std::vector<double> drift;
+    for (int t = 0; t < 1000; ++t)
+        drift.push_back(rng.normal(t < 500 ? 0.0 : 4.0, 1.0));
+    EXPECT_GT(splitRhat({drift}), 1.5);
+}
+
+TEST(Rhat, ConstantChainsAreConverged)
+{
+    std::vector<std::vector<double>> chains(3,
+                                            std::vector<double>(100, 2.5));
+    EXPECT_DOUBLE_EQ(splitRhat(chains), 1.0);
+}
+
+TEST(Rhat, ConstantButDifferentChainsAreNotConverged)
+{
+    std::vector<std::vector<double>> chains = {
+        std::vector<double>(100, 0.0), std::vector<double>(100, 1.0)};
+    EXPECT_TRUE(std::isinf(splitRhat(chains)));
+}
+
+TEST(Rhat, ValidatesInput)
+{
+    EXPECT_THROW(splitRhat({}), Error);
+    EXPECT_THROW(splitRhat({{1.0, 2.0}}), Error);
+    EXPECT_THROW(splitRhat({{1, 2, 3, 4}, {1, 2, 3}}), Error);
+}
+
+TEST(Rhat, MaxOverCoordinates)
+{
+    Rng rng(4);
+    std::vector<std::vector<std::vector<double>>> coords;
+    coords.push_back({iidNormal(rng, 200), iidNormal(rng, 200)});
+    coords.push_back(
+        {iidNormal(rng, 200, 0.0), iidNormal(rng, 200, 5.0)});
+    EXPECT_GT(maxSplitRhat(coords), 2.0);
+}
+
+TEST(Ess, IidDrawsHaveNearNominalEss)
+{
+    Rng rng(5);
+    std::vector<std::vector<double>> chains;
+    for (int c = 0; c < 4; ++c)
+        chains.push_back(iidNormal(rng, 500));
+    const double ess = effectiveSampleSize(chains);
+    EXPECT_GT(ess, 1200.0);
+    EXPECT_LE(ess, 2000.0);
+}
+
+TEST(Ess, Ar1DrawsHaveReducedEss)
+{
+    // AR(1) with phi = 0.9: ESS/N ~ (1-phi)/(1+phi) ~ 0.053.
+    Rng rng(6);
+    std::vector<std::vector<double>> chains;
+    for (int c = 0; c < 2; ++c) {
+        std::vector<double> xs(2000);
+        double x = 0.0;
+        for (auto& v : xs) {
+            x = 0.9 * x + rng.normal() * std::sqrt(1 - 0.81);
+            v = x;
+        }
+        chains.push_back(std::move(xs));
+    }
+    const double ess = effectiveSampleSize(chains);
+    EXPECT_LT(ess, 600.0);
+    EXPECT_GT(ess, 80.0);
+}
+
+TEST(Ess, ConstantChainsReturnNominal)
+{
+    std::vector<std::vector<double>> chains(2,
+                                            std::vector<double>(50, 1.0));
+    EXPECT_DOUBLE_EQ(effectiveSampleSize(chains), 100.0);
+}
+
+TEST(Kl, ZeroForIdenticalGaussians)
+{
+    EXPECT_NEAR(gaussianKl1d(1.0, 2.0, 1.0, 2.0), 0.0, 1e-12);
+}
+
+TEST(Kl, KnownValueForShiftedGaussians)
+{
+    // KL(N(1,1) || N(0,1)) = 0.5
+    EXPECT_NEAR(gaussianKl1d(1.0, 1.0, 0.0, 1.0), 0.5, 1e-12);
+    // KL(N(0,2) || N(0,1)) = ln(1/2) + (4+0)/2 - 1/2 = 1.5 - ln 2
+    EXPECT_NEAR(gaussianKl1d(0.0, 2.0, 0.0, 1.0), 1.5 - std::log(2.0),
+                1e-12);
+}
+
+TEST(Kl, IsAsymmetric)
+{
+    EXPECT_NE(gaussianKl1d(0.0, 1.0, 0.0, 3.0),
+              gaussianKl1d(0.0, 3.0, 0.0, 1.0));
+}
+
+TEST(Kl, SampleBasedMatchesMoments)
+{
+    Rng rng(7);
+    std::vector<std::vector<double>> p = {iidNormal(rng, 50000, 1.0, 1.0)};
+    std::vector<std::vector<double>> q = {iidNormal(rng, 50000, 0.0, 1.0)};
+    EXPECT_NEAR(gaussianKl(p, q), 0.5, 0.05);
+    EXPECT_NEAR(gaussianKl(p, p), 0.0, 1e-9);
+}
+
+TEST(Kl, ValidatesShapes)
+{
+    EXPECT_THROW(gaussianKl({}, {}), Error);
+    EXPECT_THROW(gaussianKl({{1, 2, 3}}, {}), Error);
+    EXPECT_THROW(gaussianKl1d(0, 0, 0, 1), Error);
+}
+
+TEST(Summary, ComputesPerCoordinateStatistics)
+{
+    Rng rng(8);
+    samplers::RunResult run;
+    run.chains.resize(2);
+    for (auto& chain : run.chains) {
+        for (int t = 0; t < 300; ++t) {
+            chain.draws.push_back({rng.normal(2.0, 1.0),
+                                   rng.normal(-1.0, 0.5)});
+            chain.logProbs.push_back(0.0);
+        }
+        chain.iterStats.resize(300);
+    }
+
+    ppl::ParamLayout layout({
+        {"a", 1, ppl::TransformKind::Identity, 0, 0},
+        {"b", 1, ppl::TransformKind::Identity, 0, 0},
+    });
+    const auto summary = summarize(run, layout);
+    ASSERT_EQ(summary.coords.size(), 2u);
+    EXPECT_EQ(summary.coords[0].name, "a");
+    EXPECT_NEAR(summary.coords[0].mean, 2.0, 0.1);
+    EXPECT_NEAR(summary.coords[1].sd, 0.5, 0.05);
+    EXPECT_LT(summary.maxRhat(), 1.05);
+    EXPECT_GT(summary.minEss(), 300.0);
+    EXPECT_LT(summary.coords[0].q05, summary.coords[0].median);
+    EXPECT_LT(summary.coords[0].median, summary.coords[0].q95);
+    EXPECT_EQ(summary.table().rows(), 2u);
+}
+
+TEST(Summary, RecentWindowKeepsTail)
+{
+    samplers::RunResult run;
+    run.chains.resize(1);
+    for (int t = 0; t < 100; ++t)
+        run.chains[0].draws.push_back({static_cast<double>(t)});
+    const auto window = recentWindow(run, 0, 0.5);
+    ASSERT_EQ(window.size(), 1u);
+    EXPECT_EQ(window[0].size(), 50u);
+    EXPECT_DOUBLE_EQ(window[0].front(), 50.0);
+    EXPECT_DOUBLE_EQ(window[0].back(), 99.0);
+}
+
+TEST(Summary, PooledCoordinateConcatenatesChains)
+{
+    samplers::RunResult run;
+    run.chains.resize(2);
+    run.chains[0].draws = {{1.0}, {2.0}};
+    run.chains[1].draws = {{3.0}};
+    const auto pooled = pooledCoordinate(run, 0);
+    EXPECT_EQ(pooled, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+} // namespace
+} // namespace bayes::diagnostics

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Design-space exploration tests on a reduced workload: point
+ * well-formedness, oracle optimality among passing points, and the
+ * chains/iterations structure the paper reports (oracle prefers fewer
+ * chains and iterations).
+ */
+#include <gtest/gtest.h>
+
+#include "dse/explorer.hpp"
+
+namespace bayes::dse {
+namespace {
+
+/** Shrunken exploration shared by the tests (sampling is expensive). */
+const DseResult&
+cachedResult()
+{
+    static const DseResult result = [] {
+        const auto wl = workloads::makeWorkload("12cities", 0.5);
+        DseConfig cfg;
+        cfg.coreCounts = {1, 2, 4};
+        cfg.chainCounts = {1, 2, 4};
+        cfg.iterFractions = {0.3, 1.0};
+        return explore(*wl, archsim::Platform::skylake(), cfg);
+    }();
+    return result;
+}
+
+TEST(Dse, UserPointIsWellFormed)
+{
+    const auto& r = cachedResult();
+    EXPECT_EQ(r.workload, "12cities");
+    EXPECT_EQ(r.platform, "Skylake");
+    EXPECT_EQ(r.user.chains, 4);
+    EXPECT_GT(r.user.seconds, 0.0);
+    EXPECT_GT(r.user.energyJ, 0.0);
+    EXPECT_TRUE(r.user.qualityOk);
+    EXPECT_LT(r.user.kl, 0.2); // user setting reproduces ground truth
+}
+
+TEST(Dse, GridCoversTheConfiguredSpace)
+{
+    const auto& r = cachedResult();
+    // 3 chains x 2 fractions x 3 cores = 18 points.
+    EXPECT_EQ(r.grid.size(), 18u);
+    for (const auto& p : r.grid) {
+        EXPECT_GT(p.seconds, 0.0);
+        EXPECT_GT(p.energyJ, 0.0);
+        EXPECT_GE(p.kl, 0.0);
+        EXPECT_FALSE(p.elided);
+    }
+}
+
+TEST(Dse, ElisionPointsExistPerCoreCount)
+{
+    const auto& r = cachedResult();
+    EXPECT_EQ(r.elision.size(), 3u);
+    for (const auto& p : r.elision) {
+        EXPECT_TRUE(p.elided);
+        EXPECT_EQ(p.chains, 4);
+        // Detection stops at or before the budget.
+        EXPECT_LE(p.iterations,
+                  r.user.iterations);
+    }
+}
+
+TEST(Dse, OracleIsCheapestPassingPoint)
+{
+    const auto& r = cachedResult();
+    EXPECT_TRUE(r.oracle.qualityOk);
+    for (const auto& p : r.grid) {
+        if (p.qualityOk) {
+            EXPECT_GE(p.energyJ, r.oracle.energyJ);
+        }
+    }
+    EXPECT_LE(r.oracle.energyJ, r.user.energyJ);
+}
+
+TEST(Dse, OraclePrefersFewerChainsOrIterations)
+{
+    // Paper §VI-B: the oracle always uses 1-2 chains and a small
+    // iteration count, never the full user setting.
+    const auto& r = cachedResult();
+    EXPECT_TRUE(r.oracle.chains < 4
+                || r.oracle.iterations < r.user.iterations);
+}
+
+TEST(Dse, ElisionSavesEnergyOverUserSetting)
+{
+    const auto& r = cachedResult();
+    EXPECT_GT(r.elisionEnergySaving(), 0.0);
+    EXPECT_GE(r.oracleEnergySaving(), r.elisionEnergySaving() - 1e-9);
+}
+
+TEST(Dse, RejectsEmptyGrid)
+{
+    const auto wl = workloads::makeWorkload("12cities", 0.25);
+    DseConfig cfg;
+    cfg.coreCounts = {};
+    EXPECT_THROW(explore(*wl, archsim::Platform::skylake(), cfg), Error);
+}
+
+} // namespace
+} // namespace bayes::dse

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Tests for the BAYES_CHECK error macro and the Error exception type.
+ */
+#include <gtest/gtest.h>
+
+#include "support/error.hpp"
+
+namespace bayes {
+namespace {
+
+TEST(Error, CheckPassesOnTrueCondition)
+{
+    EXPECT_NO_THROW(BAYES_CHECK(1 + 1 == 2, "arithmetic works"));
+}
+
+TEST(Error, CheckThrowsWithMessage)
+{
+    try {
+        BAYES_CHECK(false, "value was " << 42);
+        FAIL() << "expected Error";
+    } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("value was 42"), std::string::npos);
+        EXPECT_NE(what.find("false"), std::string::npos);
+    }
+}
+
+TEST(Error, CheckMessageStreamsArbitraryTypes)
+{
+    try {
+        BAYES_CHECK(false, "pi=" << 3.5 << " name=" << std::string("x"));
+        FAIL() << "expected Error";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("pi=3.5 name=x"),
+                  std::string::npos);
+    }
+}
+
+TEST(Error, IsARuntimeError)
+{
+    EXPECT_THROW(throw Error("boom"), std::runtime_error);
+}
+
+} // namespace
+} // namespace bayes

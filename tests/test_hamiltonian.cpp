@@ -1,0 +1,176 @@
+/**
+ * @file
+ * Hamiltonian-dynamics tests: leapfrog reversibility, symplectic
+ * energy behavior, metric handling, and the reasonable-step-size
+ * search.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/distributions.hpp"
+#include "samplers/hamiltonian.hpp"
+#include "support/stats.hpp"
+
+namespace bayes::samplers {
+namespace {
+
+/** Standard 2-D Gaussian: H is exactly integrable, handy for physics. */
+class StdGaussian : public ppl::Model
+{
+  public:
+    StdGaussian()
+        : layout_({{"x", 2, ppl::TransformKind::Identity, 0, 0}})
+    {
+    }
+    const std::string& name() const override { return name_; }
+    const ppl::ParamLayout& layout() const override { return layout_; }
+    std::size_t modeledDataBytes() const override { return 0; }
+    double logProb(const ppl::ParamView<double>& p) const override
+    {
+        return body(p);
+    }
+    ad::Var logProb(const ppl::ParamView<ad::Var>& p) const override
+    {
+        return body(p);
+    }
+
+  private:
+    template <typename T>
+    T
+    body(const ppl::ParamView<T>& p) const
+    {
+        using namespace bayes::math;
+        return std_normal_lpdf(p.at(0, 0)) + std_normal_lpdf(p.at(0, 1));
+    }
+    std::string name_ = "std-gaussian";
+    ppl::ParamLayout layout_;
+};
+
+class HamiltonianTest : public ::testing::Test
+{
+  protected:
+    HamiltonianTest() : eval_(model_), ham_(eval_) {}
+
+    PhasePoint
+    startPoint()
+    {
+        PhasePoint z;
+        z.q = {0.7, -0.3};
+        ham_.refresh(z);
+        z.p = {0.4, 1.1};
+        return z;
+    }
+
+    StdGaussian model_;
+    ppl::Evaluator eval_;
+    Hamiltonian ham_;
+};
+
+TEST_F(HamiltonianTest, LeapfrogIsTimeReversible)
+{
+    PhasePoint z = startPoint();
+    const auto q0 = z.q;
+    const auto p0 = z.p;
+    for (int i = 0; i < 25; ++i)
+        ham_.leapfrog(z, 0.1);
+    // Negate momentum, integrate back, negate again.
+    for (auto& p : z.p)
+        p = -p;
+    for (int i = 0; i < 25; ++i)
+        ham_.leapfrog(z, 0.1);
+    for (std::size_t i = 0; i < 2; ++i) {
+        EXPECT_NEAR(z.q[i], q0[i], 1e-9);
+        EXPECT_NEAR(-z.p[i], p0[i], 1e-9);
+    }
+}
+
+TEST_F(HamiltonianTest, EnergyNearlyConservedAtSmallSteps)
+{
+    PhasePoint z = startPoint();
+    const double h0 = ham_.joint(z);
+    for (int i = 0; i < 200; ++i)
+        ham_.leapfrog(z, 0.05);
+    // Symplectic integrator: bounded energy error, no drift.
+    EXPECT_NEAR(ham_.joint(z), h0, 0.01);
+}
+
+TEST_F(HamiltonianTest, EnergyErrorGrowsWithStepSize)
+{
+    PhasePoint a = startPoint();
+    PhasePoint b = startPoint();
+    const double h0 = ham_.joint(a);
+    for (int i = 0; i < 16; ++i)
+        ham_.leapfrog(a, 0.05);
+    for (int i = 0; i < 4; ++i)
+        ham_.leapfrog(b, 0.6);
+    EXPECT_LT(std::fabs(ham_.joint(a) - h0),
+              std::fabs(ham_.joint(b) - h0));
+}
+
+TEST_F(HamiltonianTest, KineticUsesInvMetric)
+{
+    PhasePoint z = startPoint();
+    z.p = {2.0, 0.0};
+    EXPECT_NEAR(ham_.kinetic(z), 2.0, 1e-12); // identity metric: p^2/2
+    ham_.setInvMetric({0.25, 1.0});
+    EXPECT_NEAR(ham_.kinetic(z), 0.5, 1e-12);
+}
+
+TEST_F(HamiltonianTest, MomentumSamplesFollowTheMetric)
+{
+    // invMetric = posterior variance estimate; p ~ N(0, 1/invMetric).
+    ham_.setInvMetric({4.0, 0.25});
+    Rng rng(11);
+    RunningStats s0, s1;
+    PhasePoint z = startPoint();
+    for (int i = 0; i < 20000; ++i) {
+        ham_.sampleMomentum(rng, z);
+        s0.add(z.p[0]);
+        s1.add(z.p[1]);
+    }
+    EXPECT_NEAR(s0.stddev(), 0.5, 0.02); // 1/sqrt(4)
+    EXPECT_NEAR(s1.stddev(), 2.0, 0.05); // 1/sqrt(0.25)
+}
+
+TEST_F(HamiltonianTest, MetricValidation)
+{
+    EXPECT_THROW(ham_.setInvMetric({1.0}), Error); // wrong dim
+    // Tiny entries are floored, not rejected.
+    ham_.setInvMetric({0.0, 1.0});
+    EXPECT_GT(ham_.invMetric()[0], 0.0);
+}
+
+TEST_F(HamiltonianTest, ReasonableStepSizeIsUsable)
+{
+    Rng rng(3);
+    PhasePoint z = startPoint();
+    const double eps = ham_.findReasonableStepSize(z, rng);
+    EXPECT_GT(eps, 0.01);
+    EXPECT_LT(eps, 10.0);
+    // One step at that size should keep the energy error moderate.
+    PhasePoint trial = startPoint();
+    ham_.sampleMomentum(rng, trial);
+    const double h0 = ham_.joint(trial);
+    ham_.leapfrog(trial, eps);
+    EXPECT_LT(std::fabs(ham_.joint(trial) - h0), 2.0);
+}
+
+TEST_F(HamiltonianTest, LeapfrogMatchesAnalyticOscillator)
+{
+    // For a standard Gaussian, Hamilton's equations are the harmonic
+    // oscillator: q(t) = q0 cos t + p0 sin t (identity metric).
+    PhasePoint z;
+    z.q = {1.0, 0.0};
+    ham_.refresh(z);
+    z.p = {0.0, 0.0};
+    const double t = 1.0;
+    const int steps = 1000;
+    for (int i = 0; i < steps; ++i)
+        ham_.leapfrog(z, t / steps);
+    EXPECT_NEAR(z.q[0], std::cos(t), 1e-4);
+    EXPECT_NEAR(z.p[0], -std::sin(t), 1e-4);
+}
+
+} // namespace
+} // namespace bayes::samplers

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Linear algebra tests: Cholesky correctness, triangular solves,
+ * multivariate normal density against closed forms, GP kernel
+ * properties — on both double and Var scalar types.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ad/tape.hpp"
+#include "math/distributions.hpp"
+#include "math/linalg.hpp"
+
+namespace bayes::math {
+namespace {
+
+using ad::Tape;
+using ad::Var;
+using ad::leaf;
+
+Matrix<double>
+spd3()
+{
+    // A = L L^T with a known L.
+    Matrix<double> a(3, 3);
+    const double l[3][3] = {{2, 0, 0}, {1, 3, 0}, {0.5, -1, 1.5}};
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j) {
+            double s = 0;
+            for (int k = 0; k < 3; ++k)
+                s += l[i][k] * l[j][k];
+            a(i, j) = s;
+        }
+    return a;
+}
+
+TEST(Linalg, CholeskyRecoversFactor)
+{
+    const auto a = spd3();
+    const auto l = cholesky(a);
+    const double expect[3][3] = {{2, 0, 0}, {1, 3, 0}, {0.5, -1, 1.5}};
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j <= i; ++j)
+            EXPECT_NEAR(l(i, j), expect[i][j], 1e-12);
+}
+
+TEST(Linalg, CholeskyRejectsIndefinite)
+{
+    Matrix<double> a(2, 2);
+    a(0, 0) = 1;
+    a(0, 1) = 4;
+    a(1, 0) = 4;
+    a(1, 1) = 1; // eigenvalues 5, -3
+    EXPECT_THROW(cholesky(a), Error);
+}
+
+TEST(Linalg, CholeskyRejectsNonSquare)
+{
+    Matrix<double> a(2, 3);
+    EXPECT_THROW(cholesky(a), Error);
+}
+
+TEST(Linalg, TriangularSolveInvertsMultiply)
+{
+    const auto a = spd3();
+    const auto l = cholesky(a);
+    const std::vector<double> x = {1.0, -2.0, 0.5};
+    // b = L x, then solve should recover x.
+    std::vector<double> b(3, 0.0);
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j <= i; ++j)
+            b[i] += l(i, j) * x[j];
+    const auto sol = solveLowerTriangular(l, b);
+    for (int i = 0; i < 3; ++i)
+        EXPECT_NEAR(sol[i], x[i], 1e-12);
+}
+
+TEST(Linalg, DotAndMatVec)
+{
+    EXPECT_NEAR((dot<double, double>({1, 2, 3}, {4, 5, 6})), 32.0, 1e-12);
+    EXPECT_THROW((dot<double, double>({1}, {1, 2})), Error);
+
+    Matrix<double> m(2, 3);
+    m(0, 0) = 1;
+    m(0, 1) = 2;
+    m(0, 2) = 3;
+    m(1, 0) = 4;
+    m(1, 1) = 5;
+    m(1, 2) = 6;
+    const auto y = matVec(m, std::vector<double>{1.0, 0.0, -1.0});
+    EXPECT_NEAR(y[0], -2.0, 1e-12);
+    EXPECT_NEAR(y[1], -2.0, 1e-12);
+}
+
+TEST(Linalg, MvnCholeskyMatchesDiagonalClosedForm)
+{
+    // Diagonal covariance: MVN factorizes into independent normals.
+    Matrix<double> cov(3, 3);
+    const double sd[3] = {0.5, 1.0, 2.0};
+    for (int i = 0; i < 3; ++i)
+        cov(i, i) = sd[i] * sd[i];
+    const auto l = cholesky(cov);
+    const std::vector<double> y = {0.3, -1.0, 2.5};
+    const std::vector<double> mu = {0.0, 0.5, 1.0};
+    double expect = 0.0;
+    for (int i = 0; i < 3; ++i)
+        expect += normal_lpdf(y[i], mu[i], sd[i]);
+    EXPECT_NEAR(multi_normal_cholesky_lpdf(y, mu, l), expect, 1e-12);
+}
+
+TEST(Linalg, MvnGradientMatchesFiniteDifference)
+{
+    const auto a = spd3();
+    const std::vector<double> y = {1.0, 0.0, -1.0};
+    auto lpAt = [&](double m0) {
+        const auto l = cholesky(a);
+        return multi_normal_cholesky_lpdf(
+            y, std::vector<double>{m0, 0.2, 0.1}, l);
+    };
+
+    Tape tape;
+    Var m0 = leaf(tape, 0.4);
+    std::vector<Var> mu = {m0, Var(0.2), Var(0.1)};
+    Matrix<Var> lv(3, 3);
+    const auto ld = cholesky(a);
+    for (int i = 0; i < 3; ++i)
+        for (int j = 0; j < 3; ++j)
+            lv(i, j) = Var(ld(i, j));
+    std::vector<Var> yv = {Var(1.0), Var(0.0), Var(-1.0)};
+    Var lp = multi_normal_cholesky_lpdf(yv, mu, lv);
+    std::vector<double> adj;
+    tape.gradient(lp.id(), adj);
+    const double h = 1e-6;
+    EXPECT_NEAR(adj[m0.id()], (lpAt(0.4 + h) - lpAt(0.4 - h)) / (2 * h),
+                1e-5);
+}
+
+TEST(Linalg, GpKernelSymmetricPositiveDefinite)
+{
+    std::vector<double> xs;
+    for (int i = 0; i < 12; ++i)
+        xs.push_back(0.3 * i);
+    const auto k = gpCovSquaredExp(xs, 0.8, 1.1, 1e-8);
+    for (std::size_t i = 0; i < k.rows(); ++i) {
+        EXPECT_NEAR(k(i, i), 0.64 + 1e-8, 1e-12);
+        for (std::size_t j = 0; j < k.cols(); ++j)
+            EXPECT_DOUBLE_EQ(k(i, j), k(j, i));
+    }
+    // PD check: Cholesky must succeed.
+    EXPECT_NO_THROW(cholesky(k));
+}
+
+TEST(Linalg, GpKernelDecaysWithDistance)
+{
+    const auto k = gpCovSquaredExp({0.0, 0.5, 5.0}, 1.0, 1.0, 0.0);
+    EXPECT_GT(k(0, 1), k(0, 2));
+    EXPECT_NEAR(k(0, 2), std::exp(-12.5), 1e-12);
+}
+
+TEST(Linalg, MatrixBoundsAssertedAndShaped)
+{
+    Matrix<double> m(2, 2);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 2u);
+    EXPECT_EQ(m.data().size(), 4u);
+    EXPECT_DOUBLE_EQ(m(1, 1), 0.0);
+}
+
+} // namespace
+} // namespace bayes::math

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Parameter layout and ParamView tests.
+ */
+#include <gtest/gtest.h>
+
+#include "ppl/model.hpp"
+
+namespace bayes::ppl {
+namespace {
+
+ParamLayout
+exampleLayout()
+{
+    return ParamLayout({
+        {"mu", 1, TransformKind::Identity, 0, 0},
+        {"sigma", 1, TransformKind::LowerBound, 0.0, 0},
+        {"beta", 3, TransformKind::Identity, 0, 0},
+    });
+}
+
+TEST(ParamLayout, OffsetsAndDim)
+{
+    const auto layout = exampleLayout();
+    EXPECT_EQ(layout.dim(), 5u);
+    EXPECT_EQ(layout.blockCount(), 3u);
+    EXPECT_EQ(layout.offset(0), 0u);
+    EXPECT_EQ(layout.offset(1), 1u);
+    EXPECT_EQ(layout.offset(2), 2u);
+}
+
+TEST(ParamLayout, BlockIndexByName)
+{
+    const auto layout = exampleLayout();
+    EXPECT_EQ(layout.blockIndex("sigma"), 1u);
+    EXPECT_THROW(layout.blockIndex("nope"), Error);
+}
+
+TEST(ParamLayout, CoordNames)
+{
+    const auto layout = exampleLayout();
+    EXPECT_EQ(layout.coordName(0), "mu");
+    EXPECT_EQ(layout.coordName(2), "beta[0]");
+    EXPECT_EQ(layout.coordName(4), "beta[2]");
+    EXPECT_THROW(layout.coordName(5), Error);
+}
+
+TEST(ParamLayout, RejectsBadBlocks)
+{
+    EXPECT_THROW(
+        ParamLayout({{"x", 0, TransformKind::Identity, 0, 0}}), Error);
+    EXPECT_THROW(
+        ParamLayout({{"x", 1, TransformKind::Bounded, 2.0, 1.0}}), Error);
+}
+
+TEST(ParamView, AccessorsResolveOffsets)
+{
+    const auto layout = exampleLayout();
+    const std::vector<double> values = {1.0, 2.0, 3.0, 4.0, 5.0};
+    const ParamView<double> view(layout, values);
+    EXPECT_DOUBLE_EQ(view.scalar(0), 1.0);
+    EXPECT_DOUBLE_EQ(view.scalar(1), 2.0);
+    EXPECT_DOUBLE_EQ(view.at(2, 0), 3.0);
+    EXPECT_DOUBLE_EQ(view.at(2, 2), 5.0);
+    EXPECT_DOUBLE_EQ(view[3], 4.0);
+    EXPECT_EQ(view.blockSize(2), 3u);
+    const auto beta = view.vec(2);
+    EXPECT_EQ(beta, (std::vector<double>{3.0, 4.0, 5.0}));
+}
+
+} // namespace
+} // namespace bayes::ppl

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * NUTS kernel unit tests: tree growth bounds, divergence flagging,
+ * step-size effects, and detailed-balance sanity (distribution
+ * preservation on a known target).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/distributions.hpp"
+#include "samplers/nuts.hpp"
+#include "support/stats.hpp"
+
+namespace bayes::samplers {
+namespace {
+
+class Std1d : public ppl::Model
+{
+  public:
+    Std1d() : layout_({{"x", 1, ppl::TransformKind::Identity, 0, 0}}) {}
+    const std::string& name() const override { return name_; }
+    const ppl::ParamLayout& layout() const override { return layout_; }
+    std::size_t modeledDataBytes() const override { return 0; }
+    double logProb(const ppl::ParamView<double>& p) const override
+    {
+        return math::std_normal_lpdf(p.scalar(0));
+    }
+    ad::Var logProb(const ppl::ParamView<ad::Var>& p) const override
+    {
+        return math::std_normal_lpdf(p.scalar(0));
+    }
+
+  private:
+    std::string name_ = "std1d";
+    ppl::ParamLayout layout_;
+};
+
+class NutsTest : public ::testing::Test
+{
+  protected:
+    NutsTest() : eval_(model_), ham_(eval_) {}
+
+    PhasePoint
+    origin()
+    {
+        PhasePoint z;
+        z.q = {0.0};
+        ham_.refresh(z);
+        return z;
+    }
+
+    Std1d model_;
+    ppl::Evaluator eval_;
+    Hamiltonian ham_;
+};
+
+TEST_F(NutsTest, GradEvalsBoundedByTreeDepth)
+{
+    NutsSampler nuts(ham_, /*maxTreeDepth=*/10);
+    nuts.setStepSize(0.5);
+    Rng rng(1);
+    PhasePoint z = origin();
+    for (int i = 0; i < 200; ++i) {
+        const auto t = nuts.transition(z, rng);
+        // A depth-d trajectory contains at most 2^d - 1 leapfrogs.
+        EXPECT_LE(t.gradEvals, (1u << t.depth));
+        EXPECT_LE(t.depth, 10);
+    }
+}
+
+TEST_F(NutsTest, MaxDepthCapsTheTrajectory)
+{
+    NutsSampler nuts(ham_, /*maxTreeDepth=*/3);
+    nuts.setStepSize(0.01); // tiny step: wants deep trees
+    Rng rng(2);
+    PhasePoint z = origin();
+    const auto t = nuts.transition(z, rng);
+    EXPECT_LE(t.depth, 3);
+    EXPECT_LE(t.gradEvals, 8u);
+}
+
+TEST_F(NutsTest, ReasonableStepGivesHighAcceptStat)
+{
+    NutsSampler nuts(ham_, 10);
+    nuts.setStepSize(0.4);
+    Rng rng(3);
+    PhasePoint z = origin();
+    RunningStats accept;
+    for (int i = 0; i < 300; ++i)
+        accept.add(nuts.transition(z, rng).acceptStat);
+    EXPECT_GT(accept.mean(), 0.85);
+}
+
+TEST_F(NutsTest, HugeStepSizeFlagsLowAccept)
+{
+    NutsSampler nuts(ham_, 10);
+    nuts.setStepSize(25.0);
+    Rng rng(4);
+    PhasePoint z = origin();
+    RunningStats accept;
+    for (int i = 0; i < 100; ++i)
+        accept.add(nuts.transition(z, rng).acceptStat);
+    EXPECT_LT(accept.mean(), 0.5);
+}
+
+TEST_F(NutsTest, PreservesTheTargetDistribution)
+{
+    // Start exactly in the typical set; long-run moments must match
+    // N(0,1) — the core invariance property.
+    NutsSampler nuts(ham_, 10);
+    nuts.setStepSize(0.6);
+    Rng rng(5);
+    PhasePoint z = origin();
+    RunningStats stats;
+    for (int i = 0; i < 8000; ++i) {
+        nuts.transition(z, rng);
+        stats.add(z.q[0]);
+    }
+    EXPECT_NEAR(stats.mean(), 0.0, 0.06);
+    EXPECT_NEAR(stats.stddev(), 1.0, 0.06);
+}
+
+TEST_F(NutsTest, TransitionsAreDeterministicGivenRngState)
+{
+    NutsSampler nuts(ham_, 10);
+    nuts.setStepSize(0.5);
+    Rng a(9), b(9);
+    PhasePoint za = origin(), zb = origin();
+    for (int i = 0; i < 50; ++i) {
+        nuts.transition(za, a);
+        nuts.transition(zb, b);
+        EXPECT_EQ(za.q[0], zb.q[0]);
+    }
+}
+
+/** Quartic well with enormous curvature — a divergence factory. */
+class Cliff : public ppl::Model
+{
+  public:
+    Cliff() : layout_({{"x", 1, ppl::TransformKind::Identity, 0, 0}}) {}
+    const std::string& name() const override { return name_; }
+    const ppl::ParamLayout& layout() const override { return layout_; }
+    std::size_t modeledDataBytes() const override { return 0; }
+    double logProb(const ppl::ParamView<double>& p) const override
+    {
+        return body(p.scalar(0));
+    }
+    ad::Var logProb(const ppl::ParamView<ad::Var>& p) const override
+    {
+        return body(p.scalar(0));
+    }
+
+  private:
+    template <typename T>
+    T
+    body(const T& x) const
+    {
+        using ad::square;
+        using math::square;
+        return -1e6 * square(x) * square(x);
+    }
+    std::string name_ = "cliff";
+    ppl::ParamLayout layout_;
+};
+
+TEST_F(NutsTest, DivergenceDetectedOnCliff)
+{
+    // Large steps on the cliff produce huge energy errors that must be
+    // flagged divergent.
+    Cliff cliff;
+    ppl::Evaluator eval(cliff);
+    Hamiltonian ham(eval);
+    NutsSampler nuts(ham, 10);
+    nuts.setStepSize(5.0);
+    Rng rng(6);
+    PhasePoint z;
+    z.q = {0.5};
+    ham.refresh(z);
+    int divergences = 0;
+    for (int i = 0; i < 50; ++i)
+        divergences += nuts.transition(z, rng).divergent;
+    EXPECT_GT(divergences, 10);
+}
+
+} // namespace
+} // namespace bayes::samplers

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * RK4 integrator tests: analytic solutions (exponential decay, harmonic
+ * oscillator), convergence order, and gradient flow through the
+ * discretized solution.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ad/tape.hpp"
+#include "math/ode.hpp"
+
+namespace bayes::math {
+namespace {
+
+using ad::Tape;
+using ad::Var;
+using ad::leaf;
+
+TEST(Ode, ExponentialDecayMatchesAnalytic)
+{
+    const double k = 0.8;
+    auto rhs = [&](double, const std::vector<double>& y,
+                   std::vector<double>& dy) { dy[0] = -k * y[0]; };
+    const std::vector<double> ts = {0.5, 1.0, 2.0, 4.0};
+    const auto states = integrateRk4<double>(rhs, {3.0}, 0.0, ts, 40.0);
+    for (std::size_t i = 0; i < ts.size(); ++i)
+        EXPECT_NEAR(states[i][0], 3.0 * std::exp(-k * ts[i]), 1e-7);
+}
+
+TEST(Ode, HarmonicOscillatorConservesPhase)
+{
+    auto rhs = [](double, const std::vector<double>& y,
+                  std::vector<double>& dy) {
+        dy[0] = y[1];
+        dy[1] = -y[0];
+    };
+    const std::vector<double> ts = {M_PI / 2, M_PI, 2 * M_PI};
+    const auto states =
+        integrateRk4<double>(rhs, {1.0, 0.0}, 0.0, ts, 60.0);
+    EXPECT_NEAR(states[0][0], 0.0, 1e-6);  // cos(pi/2)
+    EXPECT_NEAR(states[1][0], -1.0, 1e-6); // cos(pi)
+    EXPECT_NEAR(states[2][0], 1.0, 1e-6);  // cos(2pi)
+    EXPECT_NEAR(states[2][1], 0.0, 1e-6);  // -sin(2pi)
+}
+
+TEST(Ode, FourthOrderConvergence)
+{
+    auto rhs = [](double, const std::vector<double>& y,
+                  std::vector<double>& dy) { dy[0] = -y[0]; };
+    const std::vector<double> ts = {1.0};
+    const double exact = std::exp(-1.0);
+    const double errCoarse = std::fabs(
+        integrateRk4<double>(rhs, {1.0}, 0.0, ts, 4.0)[0][0] - exact);
+    const double errFine = std::fabs(
+        integrateRk4<double>(rhs, {1.0}, 0.0, ts, 8.0)[0][0] - exact);
+    // Halving h should cut the error by about 2^4 = 16.
+    EXPECT_GT(errCoarse / errFine, 10.0);
+}
+
+TEST(Ode, TimeDependentForcing)
+{
+    // dy/dt = t  =>  y(t) = t^2/2
+    auto rhs = [](double t, const std::vector<double>&,
+                  std::vector<double>& dy) { dy[0] = t; };
+    const auto states =
+        integrateRk4<double>(rhs, {0.0}, 0.0, {2.0}, 20.0);
+    EXPECT_NEAR(states[0][0], 2.0, 1e-9);
+}
+
+TEST(Ode, GradientThroughSolverMatchesFiniteDifference)
+{
+    // y' = -k y, y(1) = exp(-k); d y(1) / dk = -exp(-k).
+    auto solveAt = [](double k) {
+        auto rhs = [&](double, const std::vector<double>& y,
+                       std::vector<double>& dy) { dy[0] = -k * y[0]; };
+        return integrateRk4<double>(rhs, {1.0}, 0.0, {1.0}, 30.0)[0][0];
+    };
+
+    Tape tape;
+    Var k = leaf(tape, 0.6);
+    auto rhs = [&](double, const std::vector<Var>& y,
+                   std::vector<Var>& dy) { dy[0] = -k * y[0]; };
+    const auto states =
+        integrateRk4<Var>(rhs, {Var(1.0)}, 0.0, {1.0}, 30.0);
+    std::vector<double> adj;
+    tape.gradient(states[0][0].id(), adj);
+    const double h = 1e-6;
+    EXPECT_NEAR(adj[k.id()], (solveAt(0.6 + h) - solveAt(0.6 - h)) / (2 * h),
+                1e-6);
+    EXPECT_NEAR(adj[k.id()], -std::exp(-0.6), 1e-5);
+}
+
+TEST(Ode, ValidatesArguments)
+{
+    auto rhs = [](double, const std::vector<double>& y,
+                  std::vector<double>& dy) { dy[0] = y[0]; };
+    EXPECT_THROW(integrateRk4<double>(rhs, {1.0}, 0.0, {}, 10.0), Error);
+    EXPECT_THROW(integrateRk4<double>(rhs, {1.0}, 0.0, {1.0}, 0.0), Error);
+    EXPECT_THROW(integrateRk4<double>(rhs, {1.0}, 0.0, {2.0, 1.0}, 10.0),
+                 Error);
+}
+
+} // namespace
+} // namespace bayes::math

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Platform preset tests: Table II fidelity and the documented 1/8
+ * capacity scaling.
+ */
+#include <gtest/gtest.h>
+
+#include "archsim/platform.hpp"
+
+namespace bayes::archsim {
+namespace {
+
+TEST(Platform, SkylakeMatchesTableII)
+{
+    const auto p = Platform::skylake();
+    EXPECT_EQ(p.name, "Skylake");
+    EXPECT_EQ(p.processor, "i7-6700K");
+    EXPECT_DOUBLE_EQ(p.turboGhz, 4.2);
+    EXPECT_EQ(p.cores, 4);
+    EXPECT_DOUBLE_EQ(p.llcMb, 8.0);
+    EXPECT_DOUBLE_EQ(p.memBandwidthGBps, 34.1);
+    EXPECT_DOUBLE_EQ(p.tdpW, 91.0);
+    EXPECT_EQ(p.techNm, 14);
+}
+
+TEST(Platform, BroadwellMatchesTableII)
+{
+    const auto p = Platform::broadwell();
+    EXPECT_EQ(p.processor, "E5-2697A v4");
+    EXPECT_DOUBLE_EQ(p.turboGhz, 3.6);
+    EXPECT_EQ(p.cores, 16);
+    EXPECT_DOUBLE_EQ(p.llcMb, 40.0);
+    EXPECT_DOUBLE_EQ(p.memBandwidthGBps, 78.8);
+    EXPECT_DOUBLE_EQ(p.tdpW, 145.0);
+}
+
+TEST(Platform, CapacitiesScaledByOneEighth)
+{
+    const auto sky = Platform::skylake();
+    const auto bdw = Platform::broadwell();
+    EXPECT_EQ(sky.llc.sizeBytes, 1024u * 1024u);       // 8 MB / 8
+    EXPECT_EQ(bdw.llc.sizeBytes, 5u * 1024u * 1024u);  // 40 MB / 8
+    EXPECT_EQ(sky.l1d.sizeBytes, 4096u);               // 32 KB / 8
+    EXPECT_EQ(sky.l2.sizeBytes, 32u * 1024u);          // 256 KB / 8
+    EXPECT_DOUBLE_EQ(kCapacityScale, 1.0 / 8.0);
+}
+
+TEST(Platform, LlcCapacityRatioPreserved)
+{
+    const auto sky = Platform::skylake();
+    const auto bdw = Platform::broadwell();
+    EXPECT_DOUBLE_EQ(
+        static_cast<double>(bdw.llc.sizeBytes) / sky.llc.sizeBytes, 5.0);
+}
+
+TEST(Platform, CacheGeometriesAreConstructible)
+{
+    for (const auto& p : {Platform::skylake(), Platform::broadwell()}) {
+        EXPECT_NO_THROW(CacheModel{p.l1i});
+        EXPECT_NO_THROW(CacheModel{p.l1d});
+        EXPECT_NO_THROW(CacheModel{p.l2});
+        EXPECT_NO_THROW(CacheModel{p.llc});
+    }
+}
+
+TEST(Platform, MemLatencyCyclesScalesWithFrequency)
+{
+    const auto sky = Platform::skylake();
+    EXPECT_NEAR(sky.memLatencyCycles(), 70.0 * 4.2, 1e-9);
+}
+
+TEST(Platform, FullLoadPowerApproachesTdp)
+{
+    for (const auto& p : {Platform::skylake(), Platform::broadwell()}) {
+        const double full = p.idlePowerW + p.corePowerW * p.cores;
+        EXPECT_GT(full, 0.6 * p.tdpW);
+        EXPECT_LT(full, 1.05 * p.tdpW);
+    }
+}
+
+} // namespace
+} // namespace bayes::archsim

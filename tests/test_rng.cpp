@@ -1,0 +1,261 @@
+/**
+ * @file
+ * Unit and statistical property tests for the xoshiro256++ RNG and its
+ * distribution samplers.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace bayes {
+namespace {
+
+TEST(Rng, DeterministicForEqualSeeds)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.nextU64() == b.nextU64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformStaysInUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformRangeRespectsBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 1000; ++i) {
+        const double u = rng.uniform(-3.0, 5.0);
+        EXPECT_GE(u, -3.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanAndVariance)
+{
+    Rng rng(11);
+    RunningStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(rng.uniform());
+    EXPECT_NEAR(s.mean(), 0.5, 0.01);
+    EXPECT_NEAR(s.variance(), 1.0 / 12.0, 0.01);
+}
+
+TEST(Rng, UniformIntCoversAllResidues)
+{
+    Rng rng(3);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 1000; ++i)
+        seen.insert(rng.uniformInt(7));
+    EXPECT_EQ(seen.size(), 7u);
+    EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIntRejectsZero)
+{
+    Rng rng(3);
+    EXPECT_THROW(rng.uniformInt(0), Error);
+}
+
+TEST(Rng, NormalMoments)
+{
+    Rng rng(13);
+    RunningStats s;
+    for (int i = 0; i < 200000; ++i)
+        s.add(rng.normal());
+    EXPECT_NEAR(s.mean(), 0.0, 0.02);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.02);
+}
+
+TEST(Rng, NormalLocationScale)
+{
+    Rng rng(13);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.normal(3.0, 2.0));
+    EXPECT_NEAR(s.mean(), 3.0, 0.05);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.05);
+}
+
+TEST(Rng, ExponentialMeanMatchesRate)
+{
+    Rng rng(17);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.exponential(4.0));
+    EXPECT_NEAR(s.mean(), 0.25, 0.01);
+}
+
+TEST(Rng, ExponentialRejectsNonPositiveRate)
+{
+    Rng rng(17);
+    EXPECT_THROW(rng.exponential(0.0), Error);
+}
+
+/** Gamma moments across a range of shapes, including shape < 1. */
+class RngGammaTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RngGammaTest, MomentsMatchShapeRate)
+{
+    const double shape = GetParam();
+    const double rate = 2.0;
+    Rng rng(19);
+    RunningStats s;
+    for (int i = 0; i < 150000; ++i)
+        s.add(rng.gamma(shape, rate));
+    EXPECT_NEAR(s.mean(), shape / rate, 0.05 * (shape / rate) + 0.01);
+    EXPECT_NEAR(s.variance(), shape / (rate * rate),
+                0.10 * (shape / (rate * rate)) + 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, RngGammaTest,
+                         ::testing::Values(0.3, 0.9, 1.0, 2.5, 10.0));
+
+TEST(Rng, BetaMoments)
+{
+    Rng rng(23);
+    RunningStats s;
+    const double a = 2.0, b = 5.0;
+    for (int i = 0; i < 100000; ++i)
+        s.add(rng.beta(a, b));
+    EXPECT_NEAR(s.mean(), a / (a + b), 0.01);
+}
+
+/** Poisson mean/variance across small and large rates. */
+class RngPoissonTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RngPoissonTest, MeanVarianceMatchRate)
+{
+    const double lambda = GetParam();
+    Rng rng(29);
+    RunningStats s;
+    for (int i = 0; i < 100000; ++i)
+        s.add(static_cast<double>(rng.poisson(lambda)));
+    EXPECT_NEAR(s.mean(), lambda, 0.03 * lambda + 0.02);
+    EXPECT_NEAR(s.variance(), lambda, 0.08 * lambda + 0.05);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, RngPoissonTest,
+                         ::testing::Values(0.5, 3.0, 12.0, 80.0));
+
+TEST(Rng, BinomialMoments)
+{
+    Rng rng(31);
+    RunningStats small, large;
+    for (int i = 0; i < 50000; ++i) {
+        small.add(static_cast<double>(rng.binomial(20, 0.3)));
+        large.add(static_cast<double>(rng.binomial(500, 0.3)));
+    }
+    EXPECT_NEAR(small.mean(), 6.0, 0.1);
+    EXPECT_NEAR(large.mean(), 150.0, 1.0);
+    EXPECT_NEAR(large.variance(), 105.0, 6.0);
+}
+
+TEST(Rng, BinomialEdgeCases)
+{
+    Rng rng(31);
+    EXPECT_EQ(rng.binomial(0, 0.5), 0);
+    EXPECT_EQ(rng.binomial(10, 0.0), 0);
+    EXPECT_EQ(rng.binomial(10, 1.0), 10);
+}
+
+TEST(Rng, StudentTIsSymmetricWithHeavyTails)
+{
+    Rng rng(37);
+    RunningStats s;
+    int extreme = 0;
+    for (int i = 0; i < 100000; ++i) {
+        const double x = rng.studentT(3.0);
+        s.add(x);
+        extreme += std::fabs(x) > 4.0;
+    }
+    EXPECT_NEAR(s.mean(), 0.0, 0.06);
+    // t(3) has noticeably more mass beyond 4 sigma than a Gaussian.
+    EXPECT_GT(extreme, 200);
+}
+
+TEST(Rng, CauchyMedianIsLocation)
+{
+    Rng rng(41);
+    std::vector<double> xs;
+    for (int i = 0; i < 50000; ++i)
+        xs.push_back(rng.cauchy(2.0, 1.5));
+    EXPECT_NEAR(quantile(xs, 0.5), 2.0, 0.1);
+}
+
+TEST(Rng, CategoricalFollowsWeights)
+{
+    Rng rng(43);
+    std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+    std::vector<int> counts(4, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[rng.categorical(weights)];
+    EXPECT_EQ(counts[2], 0);
+    EXPECT_NEAR(counts[1] / 100000.0, 0.3, 0.01);
+    EXPECT_NEAR(counts[3] / 100000.0, 0.6, 0.01);
+}
+
+TEST(Rng, CategoricalRejectsBadWeights)
+{
+    Rng rng(43);
+    EXPECT_THROW(rng.categorical({}), Error);
+    EXPECT_THROW(rng.categorical({0.0, 0.0}), Error);
+    EXPECT_THROW(rng.categorical({1.0, -1.0}), Error);
+}
+
+TEST(Rng, ForkProducesDecorrelatedStreams)
+{
+    Rng parent(99);
+    Rng a = parent.fork();
+    Rng b = parent.fork();
+    // Streams must differ from each other.
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        same += a.nextU64() == b.nextU64();
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ForkIsDeterministic)
+{
+    Rng p1(99), p2(99);
+    Rng a = p1.fork();
+    Rng b = p2.fork();
+    for (int i = 0; i < 32; ++i)
+        EXPECT_EQ(a.nextU64(), b.nextU64());
+}
+
+TEST(Rng, BernoulliFrequency)
+{
+    Rng rng(47);
+    int ones = 0;
+    for (int i = 0; i < 100000; ++i)
+        ones += rng.bernoulli(0.7);
+    EXPECT_NEAR(ones / 100000.0, 0.7, 0.01);
+}
+
+} // namespace
+} // namespace bayes

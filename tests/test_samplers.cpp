@@ -1,0 +1,263 @@
+/**
+ * @file
+ * Sampler correctness: posterior moment recovery on analytically known
+ * targets for MH, HMC and NUTS; dual-averaging behavior; runner
+ * determinism and the early-stop monitor contract.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "math/distributions.hpp"
+#include "samplers/dual_averaging.hpp"
+#include "samplers/runner.hpp"
+#include "support/stats.hpp"
+
+namespace bayes::samplers {
+namespace {
+
+/** Correlated 2-D Gaussian target with known moments. */
+class GaussianTarget : public ppl::Model
+{
+  public:
+    GaussianTarget()
+        : layout_({{"x", 1, ppl::TransformKind::Identity, 0, 0},
+                   {"y", 1, ppl::TransformKind::Identity, 0, 0}})
+    {
+    }
+
+    const std::string& name() const override { return name_; }
+    const ppl::ParamLayout& layout() const override { return layout_; }
+    std::size_t modeledDataBytes() const override { return 0; }
+
+    double logProb(const ppl::ParamView<double>& p) const override
+    {
+        return body(p);
+    }
+    ad::Var logProb(const ppl::ParamView<ad::Var>& p) const override
+    {
+        return body(p);
+    }
+
+    static constexpr double kMeanX = 1.0;
+    static constexpr double kMeanY = -2.0;
+    static constexpr double kSdX = 1.5;
+    static constexpr double kSdY = 0.5;
+    static constexpr double kRho = 0.6;
+
+  private:
+    template <typename T>
+    T
+    body(const ppl::ParamView<T>& p) const
+    {
+        // Bivariate normal with correlation rho.
+        const T zx = (p.scalar(0) - kMeanX) / kSdX;
+        const T zy = (p.scalar(1) - kMeanY) / kSdY;
+        const double r2 = 1.0 - kRho * kRho;
+        return T(-0.5 / r2)
+            * (zx * zx - 2.0 * kRho * zx * zy + zy * zy);
+    }
+
+    std::string name_ = "gaussian2d";
+    ppl::ParamLayout layout_;
+};
+
+Config
+baseConfig(Algorithm algo, int iterations)
+{
+    Config cfg;
+    cfg.algorithm = algo;
+    cfg.chains = 2;
+    cfg.iterations = iterations;
+    cfg.seed = 777;
+    return cfg;
+}
+
+void
+expectGaussianMoments(const RunResult& run, double meanTol, double sdTol)
+{
+    std::vector<double> xs, ys;
+    for (const auto& chain : run.chains) {
+        for (const auto& d : chain.draws) {
+            xs.push_back(d[0]);
+            ys.push_back(d[1]);
+        }
+    }
+    EXPECT_NEAR(mean(xs), GaussianTarget::kMeanX, meanTol);
+    EXPECT_NEAR(mean(ys), GaussianTarget::kMeanY, meanTol);
+    EXPECT_NEAR(stddev(xs), GaussianTarget::kSdX, sdTol);
+    EXPECT_NEAR(stddev(ys), GaussianTarget::kSdY, sdTol);
+    EXPECT_NEAR(pearson(xs, ys), GaussianTarget::kRho, 0.12);
+}
+
+TEST(Samplers, NutsRecoversGaussianMoments)
+{
+    GaussianTarget model;
+    const auto result = run(model, baseConfig(Algorithm::Nuts, 2000));
+    expectGaussianMoments(result, 0.12, 0.15);
+    for (const auto& chain : result.chains) {
+        EXPECT_GT(chain.acceptRate, 0.6);
+        EXPECT_GT(chain.stepSize, 0.0);
+    }
+}
+
+TEST(Samplers, HmcRecoversGaussianMoments)
+{
+    GaussianTarget model;
+    auto cfg = baseConfig(Algorithm::Hmc, 3000);
+    cfg.hmcLeapfrogSteps = 16;
+    const auto result = run(model, cfg);
+    expectGaussianMoments(result, 0.15, 0.18);
+}
+
+TEST(Samplers, MhRecoversGaussianMoments)
+{
+    GaussianTarget model;
+    const auto result = run(model, baseConfig(Algorithm::Mh, 20000));
+    expectGaussianMoments(result, 0.25, 0.25);
+}
+
+TEST(Samplers, RunIsDeterministicForFixedSeed)
+{
+    GaussianTarget model;
+    const auto cfg = baseConfig(Algorithm::Nuts, 200);
+    const auto a = run(model, cfg);
+    const auto b = run(model, cfg);
+    ASSERT_EQ(a.chains.size(), b.chains.size());
+    for (std::size_t c = 0; c < a.chains.size(); ++c) {
+        ASSERT_EQ(a.chains[c].draws.size(), b.chains[c].draws.size());
+        for (std::size_t t = 0; t < a.chains[c].draws.size(); ++t)
+            EXPECT_EQ(a.chains[c].draws[t], b.chains[c].draws[t]);
+    }
+}
+
+TEST(Samplers, DifferentSeedsGiveDifferentDraws)
+{
+    GaussianTarget model;
+    auto cfg = baseConfig(Algorithm::Nuts, 200);
+    const auto a = run(model, cfg);
+    cfg.seed = 778;
+    const auto b = run(model, cfg);
+    EXPECT_NE(a.chains[0].draws.back(), b.chains[0].draws.back());
+}
+
+TEST(Samplers, MonitorCanStopEarly)
+{
+    GaussianTarget model;
+    const auto cfg = baseConfig(Algorithm::Nuts, 1000);
+    int calls = 0;
+    const auto result =
+        run(model, cfg, [&](int draws, const auto& chains) {
+            ++calls;
+            EXPECT_EQ(static_cast<int>(chains[0].draws.size()), draws);
+            return draws >= 50;
+        });
+    EXPECT_EQ(calls, 50);
+    for (const auto& chain : result.chains)
+        EXPECT_EQ(chain.draws.size(), 50u);
+}
+
+TEST(Samplers, WorkCountersArePopulated)
+{
+    GaussianTarget model;
+    const auto result = run(model, baseConfig(Algorithm::Nuts, 300));
+    for (const auto& chain : result.chains) {
+        EXPECT_EQ(chain.iterStats.size(), 300u);
+        EXPECT_EQ(chain.draws.size(), 150u); // default warmup = half
+        EXPECT_GT(chain.totalGradEvals, 300u);
+        EXPECT_GT(chain.tapeNodesPerEval, 0u);
+        EXPECT_GT(chain.postWarmupGradEvals(), 0u);
+        std::uint64_t evals = 0;
+        for (const auto& s : chain.iterStats)
+            evals += s.gradEvals;
+        EXPECT_LE(evals, chain.totalGradEvals);
+    }
+}
+
+TEST(Samplers, LogProbsTrackDraws)
+{
+    GaussianTarget model;
+    const auto result = run(model, baseConfig(Algorithm::Nuts, 200));
+    for (const auto& chain : result.chains)
+        EXPECT_EQ(chain.logProbs.size(), chain.draws.size());
+}
+
+TEST(Samplers, ConfigValidation)
+{
+    GaussianTarget model;
+    Config bad;
+    bad.chains = 0;
+    EXPECT_THROW(run(model, bad), Error);
+    Config badIters;
+    badIters.iterations = 100;
+    badIters.warmup = 100;
+    EXPECT_THROW(run(model, badIters), Error);
+}
+
+TEST(DualAveraging, ConvergesTowardTargetFromBothSides)
+{
+    // Feed a synthetic response: accept prob falls as step size grows.
+    DualAveraging da(1.0, 0.8);
+    for (int i = 0; i < 400; ++i) {
+        const double accept =
+            1.0 / (1.0 + 2.0 * da.stepSize()); // decreasing in step
+        da.update(accept);
+    }
+    const double eps = da.adaptedStepSize();
+    EXPECT_NEAR(1.0 / (1.0 + 2.0 * eps), 0.8, 0.05);
+}
+
+TEST(DualAveraging, RestartResets)
+{
+    DualAveraging da(0.5, 0.8);
+    da.update(0.2);
+    da.restart(2.0);
+    EXPECT_NEAR(da.adaptedStepSize(), 2.0, 1e-12);
+}
+
+TEST(Samplers, AlgorithmNames)
+{
+    EXPECT_STREQ(algorithmName(Algorithm::Nuts), "NUTS");
+    EXPECT_STREQ(algorithmName(Algorithm::Hmc), "HMC");
+    EXPECT_STREQ(algorithmName(Algorithm::Mh), "MH");
+}
+
+TEST(Samplers, ParallelChainsMatchSequentialExactly)
+{
+    GaussianTarget model;
+    auto cfg = baseConfig(Algorithm::Nuts, 300);
+    cfg.chains = 4;
+    const auto sequential = run(model, cfg);
+    cfg.parallelChains = true;
+    const auto parallel = run(model, cfg);
+    ASSERT_EQ(parallel.chains.size(), sequential.chains.size());
+    for (std::size_t c = 0; c < parallel.chains.size(); ++c) {
+        ASSERT_EQ(parallel.chains[c].draws.size(),
+                  sequential.chains[c].draws.size());
+        for (std::size_t t = 0; t < parallel.chains[c].draws.size(); ++t)
+            EXPECT_EQ(parallel.chains[c].draws[t],
+                      sequential.chains[c].draws[t]);
+    }
+}
+
+TEST(Samplers, ParallelChainsRejectMonitor)
+{
+    GaussianTarget model;
+    auto cfg = baseConfig(Algorithm::Nuts, 100);
+    cfg.parallelChains = true;
+    EXPECT_THROW(run(model, cfg, [](int, const auto&) { return false; }),
+                 Error);
+}
+
+TEST(Samplers, CoordinateExtraction)
+{
+    GaussianTarget model;
+    const auto result = run(model, baseConfig(Algorithm::Nuts, 100));
+    const auto coord = result.coordinate(1);
+    EXPECT_EQ(coord.size(), 2u);
+    EXPECT_EQ(coord[0].size(), 50u);
+    EXPECT_EQ(coord[0][0], result.chains[0].draws[0][1]);
+}
+
+} // namespace
+} // namespace bayes::samplers

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Tests for the running-statistics accumulator and the small sample
+ * statistics helpers.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+#include "support/stats.hpp"
+
+namespace bayes {
+namespace {
+
+TEST(RunningStats, MatchesDirectComputation)
+{
+    const std::vector<double> xs = {1.0, 4.0, -2.0, 7.5, 0.25, 3.0};
+    RunningStats s;
+    for (double x : xs)
+        s.add(x);
+    EXPECT_EQ(s.count(), xs.size());
+    EXPECT_DOUBLE_EQ(s.mean(), mean(xs));
+    EXPECT_NEAR(s.variance(), variance(xs), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), -2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.5);
+}
+
+TEST(RunningStats, EmptyAndSingle)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    s.add(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass)
+{
+    Rng rng(5);
+    RunningStats whole, left, right;
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.normal(2.0, 3.0);
+        whole.add(x);
+        (i < 400 ? left : right).add(x);
+    }
+    left.merge(right);
+    EXPECT_EQ(left.count(), whole.count());
+    EXPECT_NEAR(left.mean(), whole.mean(), 1e-10);
+    EXPECT_NEAR(left.variance(), whole.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(left.min(), whole.min());
+    EXPECT_DOUBLE_EQ(left.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptySides)
+{
+    RunningStats a, b;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(b); // empty right
+    EXPECT_EQ(a.count(), 2u);
+    b.merge(a); // empty left
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(RunningStats, ResetClearsState)
+{
+    RunningStats s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Stats, QuantileInterpolates)
+{
+    std::vector<double> xs = {4.0, 1.0, 3.0, 2.0};
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.5);
+    EXPECT_DOUBLE_EQ(quantile({7.0}, 0.3), 7.0);
+}
+
+TEST(Stats, QuantileValidatesInput)
+{
+    EXPECT_THROW(quantile({}, 0.5), Error);
+    EXPECT_THROW(quantile({1.0}, 1.5), Error);
+}
+
+TEST(Stats, GeometricMean)
+{
+    EXPECT_NEAR(geometricMean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geometricMean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+    EXPECT_THROW(geometricMean({1.0, -1.0}), Error);
+}
+
+TEST(Stats, PearsonPerfectCorrelation)
+{
+    const std::vector<double> xs = {1, 2, 3, 4, 5};
+    const std::vector<double> up = {2, 4, 6, 8, 10};
+    const std::vector<double> down = {5, 4, 3, 2, 1};
+    EXPECT_NEAR(pearson(xs, up), 1.0, 1e-12);
+    EXPECT_NEAR(pearson(xs, down), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonNearZeroForIndependent)
+{
+    Rng rng(9);
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 20000; ++i) {
+        xs.push_back(rng.normal());
+        ys.push_back(rng.normal());
+    }
+    EXPECT_NEAR(pearson(xs, ys), 0.0, 0.03);
+}
+
+TEST(Stats, LeastSquaresRecoversExactLine)
+{
+    std::vector<double> xs, ys;
+    for (int i = 0; i < 10; ++i) {
+        xs.push_back(i);
+        ys.push_back(3.0 - 0.5 * i);
+    }
+    const LinearFit fit = fitLeastSquares(xs, ys);
+    EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+    EXPECT_NEAR(fit.slope, -0.5, 1e-12);
+    EXPECT_NEAR(fit.predict(20.0), -7.0, 1e-12);
+}
+
+TEST(Stats, LeastSquaresRejectsDegenerateInput)
+{
+    EXPECT_THROW(fitLeastSquares({1.0}, {2.0}), Error);
+    EXPECT_THROW(fitLeastSquares({1.0, 1.0}, {2.0, 3.0}), Error);
+}
+
+TEST(Stats, VarianceRequiresTwoPoints)
+{
+    EXPECT_THROW(variance({1.0}), Error);
+    EXPECT_THROW(mean({}), Error);
+}
+
+} // namespace
+} // namespace bayes

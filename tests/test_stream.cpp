@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Stream-prefetch detector tests.
+ */
+#include <gtest/gtest.h>
+
+#include "archsim/stream.hpp"
+#include "support/rng.hpp"
+
+namespace bayes::archsim {
+namespace {
+
+TEST(Stream, AscendingSequenceIsDetectedAfterFirstTouch)
+{
+    StreamDetector det;
+    EXPECT_FALSE(det.isStream(0x10000)); // new page
+    EXPECT_TRUE(det.isStream(0x10040)); // +1 line
+    EXPECT_TRUE(det.isStream(0x10080));
+    EXPECT_TRUE(det.isStream(0x100c0));
+}
+
+TEST(Stream, DescendingSequenceIsDetected)
+{
+    StreamDetector det;
+    det.isStream(0x20f00);
+    EXPECT_TRUE(det.isStream(0x20ec0)); // -1 line
+    EXPECT_TRUE(det.isStream(0x20e80));
+}
+
+TEST(Stream, RepeatedLineCountsAsStream)
+{
+    StreamDetector det;
+    det.isStream(0x30000);
+    EXPECT_TRUE(det.isStream(0x30000)); // delta 0
+}
+
+TEST(Stream, LargeJumpWithinPageIsNotStream)
+{
+    StreamDetector det;
+    det.isStream(0x40000);
+    EXPECT_FALSE(det.isStream(0x40000 + 10 * 64));
+}
+
+TEST(Stream, RandomAccessesAreMostlyNotStreams)
+{
+    StreamDetector det;
+    Rng rng(5);
+    int streams = 0;
+    for (int i = 0; i < 1000; ++i)
+        streams += det.isStream(rng.nextU64() & 0xffffffc0ull);
+    EXPECT_LT(streams, 100);
+}
+
+TEST(Stream, InterleavedStreamsAreBothTracked)
+{
+    StreamDetector det;
+    det.isStream(0x50000);
+    det.isStream(0x90000);
+    for (int i = 1; i < 10; ++i) {
+        EXPECT_TRUE(det.isStream(0x50000 + i * 64ull));
+        EXPECT_TRUE(det.isStream(0x90000 + i * 64ull));
+    }
+}
+
+TEST(Stream, TableEvictionForgetsStaleStreams)
+{
+    StreamDetector det(4);
+    det.isStream(0x100000);
+    // Five newer pages evict the first entry.
+    for (int p = 1; p <= 5; ++p)
+        det.isStream(0x100000 + p * 0x1000ull);
+    // Returning to the first page restarts the stream.
+    EXPECT_FALSE(det.isStream(0x100040));
+}
+
+TEST(Stream, ResetForgetsEverything)
+{
+    StreamDetector det;
+    det.isStream(0x60000);
+    det.reset();
+    EXPECT_FALSE(det.isStream(0x60040));
+}
+
+} // namespace
+} // namespace bayes::archsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Tests for the table/CSV printer used by the benchmark harness.
+ */
+#include <gtest/gtest.h>
+
+#include "support/table.hpp"
+#include "support/error.hpp"
+
+namespace bayes {
+namespace {
+
+TEST(Table, RendersAlignedColumns)
+{
+    Table t({"name", "value"});
+    t.row().cell("alpha").cell(1.25, 2);
+    t.row().cell("b").cell(10L);
+    const std::string out = t.str();
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("1.25"), std::string::npos);
+    EXPECT_NE(out.find("10"), std::string::npos);
+    // Header separator present.
+    EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip)
+{
+    Table t({"a", "b"});
+    t.row().cell("x").cell(2.5, 1);
+    const std::string csv = t.csv();
+    EXPECT_EQ(csv, "a,b\nx,2.5\n");
+}
+
+TEST(Table, CsvQuotesSpecialCharacters)
+{
+    Table t({"a"});
+    t.row().cell("hello, world");
+    EXPECT_EQ(t.csv(), "a\n\"hello, world\"\n");
+    Table q({"a"});
+    q.row().cell("say \"hi\"");
+    EXPECT_EQ(q.csv(), "a\n\"say \"\"hi\"\"\"\n");
+}
+
+TEST(Table, RejectsTooManyCells)
+{
+    Table t({"only"});
+    t.row().cell("ok");
+    EXPECT_THROW(t.cell("overflow"), Error);
+}
+
+TEST(Table, RejectsCellBeforeRow)
+{
+    Table t({"c"});
+    EXPECT_THROW(t.cell("no row yet"), Error);
+}
+
+TEST(Table, RejectsIncompletePreviousRow)
+{
+    Table t({"a", "b"});
+    t.row().cell("only-one");
+    EXPECT_THROW(t.row(), Error);
+}
+
+TEST(Table, RowsCountsDataRows)
+{
+    Table t({"a"});
+    EXPECT_EQ(t.rows(), 0u);
+    t.row().cell("1");
+    t.row().cell("2");
+    EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, FormatFixedPrecision)
+{
+    EXPECT_EQ(formatFixed(3.14159, 2), "3.14");
+    EXPECT_EQ(formatFixed(-1.0, 0), "-1");
+}
+
+} // namespace
+} // namespace bayes

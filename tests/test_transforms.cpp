@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Constraining-transform tests: round trips, Jacobian corrections
+ * against numerical derivatives, and the ordered block transform.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ad/var.hpp"
+#include "ppl/transforms.hpp"
+#include "ppl/model.hpp"
+
+namespace bayes::ppl {
+namespace {
+
+class ScalarTransformTest
+    : public ::testing::TestWithParam<std::tuple<TransformKind, double,
+                                                 double>>
+{
+};
+
+TEST_P(ScalarTransformTest, RoundTripsThroughUnconstrain)
+{
+    const auto [kind, lb, ub] = GetParam();
+    for (double u : {-3.0, -0.5, 0.0, 1.2, 4.0}) {
+        const double x = constrainScalar(kind, u, lb, ub);
+        EXPECT_NEAR(unconstrainScalar(kind, x, lb, ub), u, 1e-8);
+    }
+}
+
+TEST_P(ScalarTransformTest, OutputRespectsSupport)
+{
+    const auto [kind, lb, ub] = GetParam();
+    for (double u : {-10.0, 0.0, 10.0}) {
+        const double x = constrainScalar(kind, u, lb, ub);
+        switch (kind) {
+          case TransformKind::LowerBound:
+            EXPECT_GT(x, lb);
+            break;
+          case TransformKind::UpperBound:
+            EXPECT_LT(x, ub);
+            break;
+          case TransformKind::Bounded:
+            EXPECT_GT(x, lb);
+            EXPECT_LT(x, ub);
+            break;
+          default:
+            break;
+        }
+    }
+}
+
+TEST_P(ScalarTransformTest, JacobianMatchesNumericalDerivative)
+{
+    const auto [kind, lb, ub] = GetParam();
+    for (double u : {-2.0, 0.3, 1.7}) {
+        const double h = 1e-6;
+        const double dxdu = (constrainScalar(kind, u + h, lb, ub)
+                             - constrainScalar(kind, u - h, lb, ub))
+            / (2 * h);
+        const double logJ = logJacobianScalar(kind, u, lb, ub);
+        EXPECT_NEAR(logJ, std::log(std::fabs(dxdu)), 1e-6);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Kinds, ScalarTransformTest,
+    ::testing::Values(
+        std::make_tuple(TransformKind::LowerBound, 2.0, 0.0),
+        std::make_tuple(TransformKind::LowerBound, 0.0, 0.0),
+        std::make_tuple(TransformKind::UpperBound, 0.0, 5.0),
+        std::make_tuple(TransformKind::Bounded, -1.0, 3.0),
+        std::make_tuple(TransformKind::Bounded, 0.001, 0.1)));
+
+TEST(Transforms, IdentityIsNoOpWithZeroJacobian)
+{
+    EXPECT_DOUBLE_EQ(
+        constrainScalar(TransformKind::Identity, 1.7, 0.0, 0.0), 1.7);
+    EXPECT_DOUBLE_EQ(
+        logJacobianScalar(TransformKind::Identity, 1.7, 0.0, 0.0), 0.0);
+}
+
+TEST(Transforms, OrderedProducesStrictlyIncreasing)
+{
+    const double u[4] = {0.5, -1.0, 0.0, 2.0};
+    double x[4];
+    const double logJ = constrainOrdered(u, x, 4);
+    EXPECT_DOUBLE_EQ(x[0], 0.5);
+    for (int i = 1; i < 4; ++i)
+        EXPECT_GT(x[i], x[i - 1]);
+    // Jacobian is sum of u[1:].
+    EXPECT_NEAR(logJ, -1.0 + 0.0 + 2.0, 1e-12);
+}
+
+TEST(Transforms, OrderedWorksOnVars)
+{
+    ad::Tape tape;
+    ad::Var u[3] = {ad::leaf(tape, 0.0), ad::leaf(tape, 1.0),
+                    ad::leaf(tape, -0.5)};
+    ad::Var x[3];
+    const ad::Var logJ = constrainOrdered(u, x, 3);
+    EXPECT_NEAR(x[2].value(), 0.0 + std::exp(1.0) + std::exp(-0.5), 1e-12);
+    EXPECT_NEAR(logJ.value(), 0.5, 1e-12);
+}
+
+TEST(Transforms, UnconstrainValidatesDomain)
+{
+    EXPECT_THROW(
+        unconstrainScalar(TransformKind::LowerBound, -1.0, 0.0, 0.0),
+        Error);
+    EXPECT_THROW(
+        unconstrainScalar(TransformKind::Bounded, 5.0, 0.0, 1.0), Error);
+    EXPECT_THROW(
+        unconstrainScalar(TransformKind::Ordered, 0.0, 0.0, 0.0), Error);
+}
+
+TEST(Transforms, BoundedJacobianStableInTails)
+{
+    // Far tails must stay finite (log scale), never NaN.
+    const double j =
+        logJacobianScalar(TransformKind::Bounded, 40.0, 0.0, 1.0);
+    EXPECT_TRUE(std::isfinite(j));
+    EXPECT_LT(j, -30.0);
+}
+
+} // namespace
+} // namespace bayes::ppl
