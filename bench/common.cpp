@@ -7,20 +7,23 @@
 namespace bayes::bench {
 
 samplers::Config
-userConfig(const workloads::Workload& workload)
+userConfig(const workloads::Workload& workload,
+           samplers::ExecutionPolicy execution)
 {
     samplers::Config cfg;
     cfg.chains = workload.info().defaultChains;
     cfg.iterations = workload.info().defaultIterations;
+    cfg.execution = execution;
     return cfg;
 }
 
 SuiteEntry
-prepareWorkload(const std::string& name, double dataScale, int iterations)
+prepareWorkload(const std::string& name, double dataScale, int iterations,
+                samplers::ExecutionPolicy execution)
 {
     SuiteEntry entry;
     entry.workload = workloads::makeWorkload(name, dataScale);
-    samplers::Config cfg = userConfig(*entry.workload);
+    samplers::Config cfg = userConfig(*entry.workload, execution);
     if (iterations > 0)
         cfg.iterations = iterations;
 
@@ -34,11 +37,13 @@ prepareWorkload(const std::string& name, double dataScale, int iterations)
 }
 
 std::vector<SuiteEntry>
-prepareSuite(double dataScale, int iterations)
+prepareSuite(double dataScale, int iterations,
+             samplers::ExecutionPolicy execution)
 {
     std::vector<SuiteEntry> suite;
     for (const auto& name : workloads::suiteNames())
-        suite.push_back(prepareWorkload(name, dataScale, iterations));
+        suite.push_back(
+            prepareWorkload(name, dataScale, iterations, execution));
     return suite;
 }
 

@@ -27,8 +27,15 @@ struct SuiteEntry
     archsim::RunWork work;
 };
 
-/** The user (Table-I) sampler configuration of a workload. */
-samplers::Config userConfig(const workloads::Workload& workload);
+/**
+ * The user (Table-I) sampler configuration of a workload. Benches
+ * default to pooled chain execution — results are draw-for-draw
+ * identical to sequential, only the wall time changes.
+ */
+samplers::Config
+userConfig(const workloads::Workload& workload,
+           samplers::ExecutionPolicy execution =
+               samplers::ExecutionPolicy::pool());
 
 /**
  * Sample + profile one workload.
@@ -37,13 +44,18 @@ samplers::Config userConfig(const workloads::Workload& workload);
  * @param iterations  0 = the workload's own user setting; otherwise a
  *                    reduced count (valid when only iteration-invariant
  *                    metrics such as IPC/MPKI are consumed)
+ * @param execution   chain execution policy for the sampling run
  */
 SuiteEntry prepareWorkload(const std::string& name, double dataScale = 1.0,
-                           int iterations = 0);
+                           int iterations = 0,
+                           samplers::ExecutionPolicy execution =
+                               samplers::ExecutionPolicy::pool());
 
 /** prepareWorkload over the full Table-I suite, with progress logging. */
 std::vector<SuiteEntry> prepareSuite(double dataScale = 1.0,
-                                     int iterations = 0);
+                                     int iterations = 0,
+                                     samplers::ExecutionPolicy execution =
+                                         samplers::ExecutionPolicy::pool());
 
 /** Reduced iteration count used by iteration-invariant benches. */
 inline constexpr int kShortIterations = 240;

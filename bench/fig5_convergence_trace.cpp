@@ -76,6 +76,8 @@ main()
                  trace);
 
     // Latency effect: simulate the elided run against the full run.
+    // Detection runs phased on the shared pool — the stop draw is
+    // identical to the sequential schedule.
     const auto elided = elide::runWithElision(*wl, cfg);
     const auto profile = archsim::profileWorkload(*wl, cfg.chains);
     const auto platform = archsim::Platform::skylake();

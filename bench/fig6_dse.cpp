@@ -18,10 +18,14 @@ int
 main()
 {
     const auto platform = archsim::Platform::skylake();
+    // Every grid point's sampling run is one task on the shared pool;
+    // seeds are per-point, so the table matches the sequential driver.
+    dse::DseConfig dseCfg;
+    dseCfg.execution = samplers::ExecutionPolicy::pool();
     for (const std::string name : {"ad", "survival", "ode", "memory"}) {
         std::fprintf(stderr, "[bench] exploring %s...\n", name.c_str());
         const auto wl = workloads::makeWorkload(name);
-        const auto result = dse::explore(*wl, platform);
+        const auto result = dse::explore(*wl, platform, dseCfg);
 
         Table table({"point", "cores", "chains", "iters", "latency(s)",
                      "energy(J)", "KL", "quality"});

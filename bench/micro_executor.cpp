@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Executor micro-bench — wall-clock time of `runWithElision` under the
+ * three execution policies on `12cities` and `votes` (4 chains). The
+ * phased barrier executor must produce the identical stop draw under
+ * every policy; the interesting number is the wall-time ratio, which
+ * approaches the chain count on a machine with that many idle cores.
+ */
+#include "common.hpp"
+#include "elide/elision.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+#include <cstdio>
+#include <thread>
+
+using namespace bayes;
+
+namespace {
+
+struct Measurement
+{
+    double seconds;
+    elide::ElisionResult result;
+};
+
+Measurement
+timedElision(const workloads::Workload& wl, samplers::Config cfg,
+             samplers::ExecutionPolicy policy)
+{
+    cfg.execution = policy;
+    Timer timer;
+    Measurement m{0.0, elide::runWithElision(wl, cfg)};
+    m.seconds = timer.seconds();
+    return m;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("hardware concurrency: %u\n",
+                std::thread::hardware_concurrency());
+
+    Table table({"workload", "policy", "wall(s)", "speedup", "stop draw",
+                 "converged"});
+    for (const std::string name : {"12cities", "votes"}) {
+        const auto wl = workloads::makeWorkload(name);
+        auto cfg = bench::userConfig(
+            *wl, samplers::ExecutionPolicy::sequential());
+        cfg.chains = 4;
+        std::fprintf(stderr, "[bench] %s: elided runs x3 policies...\n",
+                     name.c_str());
+
+        const auto seq = timedElision(
+            *wl, cfg, samplers::ExecutionPolicy::sequential());
+        const auto tpc = timedElision(
+            *wl, cfg, samplers::ExecutionPolicy::threadPerChain());
+        const auto pool =
+            timedElision(*wl, cfg, samplers::ExecutionPolicy::pool());
+
+        auto emit = [&](const char* policy, const Measurement& m) {
+            table.row()
+                .cell(name)
+                .cell(policy)
+                .cell(m.seconds, 2)
+                .cell(seq.seconds / m.seconds, 2)
+                .cell(static_cast<long>(m.result.stoppedAtDraw))
+                .cell(m.result.converged ? "yes" : "no");
+        };
+        emit("sequential", seq);
+        emit("thread-per-chain", tpc);
+        emit("pool", pool);
+
+        // The whole point of the phased executor: identical decisions.
+        if (tpc.result.stoppedAtDraw != seq.result.stoppedAtDraw
+            || pool.result.stoppedAtDraw != seq.result.stoppedAtDraw) {
+            std::fprintf(stderr,
+                         "ERROR: stop draw differs across policies\n");
+            return 1;
+        }
+    }
+    printSection("Executor micro-bench — runWithElision wall time by "
+                 "execution policy (4 chains)",
+                 table);
+    return 0;
+}

@@ -13,6 +13,7 @@
 #include "elide/elision.hpp"
 #include "samplers/runner.hpp"
 #include "support/table.hpp"
+#include "support/timer.hpp"
 #include "workloads/workload.hpp"
 
 using namespace bayes;
@@ -24,14 +25,30 @@ main()
     samplers::Config cfg;
     cfg.chains = wl->info().defaultChains;
     cfg.iterations = wl->info().defaultIterations;
+    cfg.execution = samplers::ExecutionPolicy::pool();
 
     std::printf("Running %s at the user setting (%d x %d)...\n",
                 wl->name().c_str(), cfg.chains, cfg.iterations);
     const auto full = samplers::run(*wl, cfg);
 
-    std::printf("Running %s with runtime convergence detection...\n",
+    std::printf("Running %s with runtime convergence detection "
+                "(phased on the pool)...\n",
                 wl->name().c_str());
+    Timer pooledTimer;
     const auto elided = elide::runWithElision(*wl, cfg);
+    const double pooledSeconds = pooledTimer.seconds();
+
+    // Elision composes with parallelism: the sequential schedule stops
+    // at the very same draw, it just uses one core.
+    auto seqCfg = cfg;
+    seqCfg.execution = samplers::ExecutionPolicy::sequential();
+    Timer seqTimer;
+    const auto elidedSeq = elide::runWithElision(*wl, seqCfg);
+    const double seqSeconds = seqTimer.seconds();
+    std::printf("pooled stop draw %d == sequential stop draw %d; "
+                "wall %.2fs vs %.2fs (%.2fx)\n",
+                elided.stoppedAtDraw, elidedSeq.stoppedAtDraw,
+                pooledSeconds, seqSeconds, seqSeconds / pooledSeconds);
 
     std::printf("\nR-hat trace of the elided run:\n");
     for (const auto& sample : elided.rhatTrace)

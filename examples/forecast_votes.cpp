@@ -23,6 +23,7 @@ main()
     samplers::Config cfg;
     cfg.chains = 4;
     cfg.iterations = 800;
+    cfg.execution = samplers::ExecutionPolicy::pool();
     std::printf("Fitting the votes Gaussian process (%d x %d)...\n",
                 cfg.chains, cfg.iterations);
     const auto votesRun = samplers::run(votes, cfg);

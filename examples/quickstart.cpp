@@ -95,6 +95,9 @@ main()
     samplers::Config config;
     config.chains = 4;
     config.iterations = 1000; // half warmup, half sampling
+    // Run all chains in parallel on the process-shared worker pool;
+    // draws are identical to ExecutionPolicy::sequential().
+    config.execution = samplers::ExecutionPolicy::pool();
 
     std::printf("Sampling %s with %s (%d chains x %d iterations)...\n",
                 model.name().c_str(),

@@ -37,6 +37,7 @@ main()
         samplers::Config cfg;
         cfg.chains = 4;
         cfg.iterations = 200;
+        cfg.execution = samplers::ExecutionPolicy::pool();
         const auto run = samplers::run(*wl, cfg);
         const auto profile = archsim::profileWorkload(*wl, 4);
         const auto work = archsim::extractRunWork(run);

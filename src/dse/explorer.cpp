@@ -3,9 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
+#include <functional>
+#include <future>
+
 #include "diagnostics/convergence.hpp"
 #include "diagnostics/summary.hpp"
 #include "samplers/runner.hpp"
+#include "support/thread_pool.hpp"
 
 namespace bayes::dse {
 namespace {
@@ -62,13 +66,84 @@ explore(const workloads::Workload& workload,
     const int userChains = workload.info().defaultChains;
     const int userIters = workload.info().defaultIterations;
 
+    // Every sampling run (ground truth, user setting, grid candidates,
+    // elided run) is seeded independently, so they are order-free: in a
+    // parallel driver mode each one becomes a task on the shared pool
+    // and the coordinating thread waits for the whole batch. Inner runs
+    // stay Sequential — the parallelism is at run granularity.
+    const bool pooledDriver =
+        config.execution.mode != samplers::ExecutionMode::Sequential;
+    std::vector<std::future<void>> pending;
+    auto dispatch = [&](std::function<void()> samplingTask) {
+        if (pooledDriver)
+            pending.push_back(
+                support::sharedPool(config.execution.workers)
+                    .submit(std::move(samplingTask)));
+        else
+            samplingTask();
+    };
+
     // Ground truth: the user configuration with twice the iterations.
     samplers::Config gtCfg;
     gtCfg.chains = userChains;
     gtCfg.iterations = userIters * 2;
     gtCfg.seed = config.seed ^ 0x5157u;
-    const auto groundTruth =
-        pooledByCoordinate(samplers::run(workload, gtCfg));
+    samplers::RunResult gtRun;
+    dispatch([&gtRun, &workload, gtCfg] {
+        gtRun = samplers::run(workload, gtCfg);
+    });
+
+    // The user setting itself.
+    samplers::Config userCfg;
+    userCfg.chains = userChains;
+    userCfg.iterations = userIters;
+    userCfg.seed = config.seed;
+    samplers::RunResult userRun;
+    dispatch([&userRun, &workload, userCfg] {
+        userRun = samplers::run(workload, userCfg);
+    });
+
+    // Grid candidates: one sampling run per (chains, iteration budget).
+    struct Candidate
+    {
+        int chains;
+        int iterations;
+        double fraction;
+        samplers::RunResult run;
+    };
+    std::vector<Candidate> candidates;
+    candidates.reserve(config.chainCounts.size()
+                       * config.iterFractions.size());
+    for (int chains : config.chainCounts) {
+        for (double frac : config.iterFractions) {
+            const int iters = std::max(
+                40, static_cast<int>(std::lround(frac * userIters)));
+            candidates.push_back(Candidate{chains, iters, frac, {}});
+        }
+    }
+    for (auto& cand : candidates) {
+        samplers::Config cfg;
+        cfg.chains = cand.chains;
+        cfg.iterations = cand.iterations;
+        cfg.seed = config.seed + cand.chains * 1000 + cand.iterations;
+        dispatch([&cand, &workload, cfg] {
+            cand.run = samplers::run(workload, cfg);
+        });
+    }
+
+    // Elision-achievable run: 4 chains + runtime detection.
+    samplers::Config cdCfg;
+    cdCfg.chains = userChains;
+    cdCfg.iterations = userIters;
+    cdCfg.seed = config.seed;
+    elide::ElisionResult elided;
+    dispatch([&elided, &workload, cdCfg] {
+        elided = elide::runWithElision(workload, cdCfg);
+    });
+
+    support::waitAll(pending);
+
+    const auto groundTruth = pooledByCoordinate(gtRun);
 
     // Profiles per chain count (memory behavior depends on residency).
     std::vector<archsim::WorkloadProfile> profiles(
@@ -103,11 +178,6 @@ explore(const workloads::Workload& workload,
     // The user setting itself, on all platform cores (up to 4).
     const int userCores =
         std::min(4, std::min(platform.cores, userChains));
-    samplers::Config userCfg;
-    userCfg.chains = userChains;
-    userCfg.iterations = userIters;
-    userCfg.seed = config.seed;
-    const auto userRun = samplers::run(workload, userCfg);
     result.user =
         evaluate(userRun, userChains, userCores, userIters, false, "user");
     result.user.qualityOk = true;
@@ -115,36 +185,22 @@ explore(const workloads::Workload& workload,
         std::max(config.klFloor, config.klFactor * result.user.kl);
 
     // Grid: (chains, iteration fraction) sampling runs x core counts.
-    for (int chains : config.chainCounts) {
-        for (double frac : config.iterFractions) {
-            const int iters = std::max(
-                40, static_cast<int>(std::lround(frac * userIters)));
-            samplers::Config cfg;
-            cfg.chains = chains;
-            cfg.iterations = iters;
-            cfg.seed = config.seed + chains * 1000 + iters;
-            const auto run = samplers::run(workload, cfg);
-            for (int cores : config.coreCounts) {
-                if (cores > platform.cores)
-                    continue;
-                auto p = evaluate(
-                    run, chains, cores, iters, false,
-                    std::to_string(chains) + "ch-"
-                        + std::to_string(
-                            static_cast<int>(std::lround(frac * 100)))
-                        + "%-" + std::to_string(cores) + "c");
-                p.qualityOk = p.kl <= klGate;
-                result.grid.push_back(std::move(p));
-            }
+    for (const auto& cand : candidates) {
+        for (int cores : config.coreCounts) {
+            if (cores > platform.cores)
+                continue;
+            auto p = evaluate(
+                cand.run, cand.chains, cores, cand.iterations, false,
+                std::to_string(cand.chains) + "ch-"
+                    + std::to_string(
+                        static_cast<int>(std::lround(cand.fraction * 100)))
+                    + "%-" + std::to_string(cores) + "c");
+            p.qualityOk = p.kl <= klGate;
+            result.grid.push_back(std::move(p));
         }
     }
 
     // Elision-achievable points: 4 chains + runtime detection.
-    samplers::Config cdCfg;
-    cdCfg.chains = userChains;
-    cdCfg.iterations = userIters;
-    cdCfg.seed = config.seed;
-    const auto elided = elide::runWithElision(workload, cdCfg);
     const int elidedIters = elided.executedIterations;
     for (int cores : config.coreCounts) {
         if (cores > platform.cores)

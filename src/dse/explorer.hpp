@@ -52,6 +52,15 @@ struct DseConfig
     double klFactor = 3.0;
     /** Seed for all exploration runs. */
     std::uint64_t seed = 20190331;
+    /**
+     * How the exploration's sampling runs execute. Sequential runs
+     * them inline in grid order; any parallel mode dispatches each run
+     * (ground truth, user setting, every grid candidate, the elided
+     * run) as one task on the shared pool — run-level parallelism, so
+     * the inner runs stay sequential and can never deadlock the pool.
+     * Results are identical either way (each run owns its seed).
+     */
+    samplers::ExecutionPolicy execution = samplers::ExecutionPolicy::pool();
 };
 
 /** Full exploration output for one workload on one platform. */

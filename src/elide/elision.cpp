@@ -64,23 +64,25 @@ runWithElision(const ppl::Model& model, const samplers::Config& config,
     result.budgetDraws = elidedCfg.postWarmup();
     result.budgetIterations = config.iterations;
 
+    // Runs on the coordinating thread with every chain parked at the
+    // barrier (any ExecutionPolicy), so plain writes to `result` are
+    // safe and the stop decision is schedule-independent.
     samplers::IterationMonitor monitor =
-        [&](int drawsSoFar, const std::vector<samplers::ChainResult>& chains)
-        -> bool {
-        if (drawsSoFar < elision.minDraws
-            || drawsSoFar % elision.checkInterval != 0)
-            return false;
+        [&](const samplers::MonitorContext& ctx) -> samplers::MonitorAction {
+        if (ctx.round < elision.minDraws
+            || ctx.round % elision.checkInterval != 0)
+            return samplers::MonitorAction::Continue;
         Timer timer;
         const double rhat =
-            detectorRhat(chains, drawsSoFar, elision.windowFraction);
+            detectorRhat(ctx.chains, ctx.round, elision.windowFraction);
         result.detectorSeconds += timer.seconds();
-        result.rhatTrace.push_back(RhatSample{drawsSoFar, rhat});
+        result.rhatTrace.push_back(RhatSample{ctx.round, rhat});
         if (rhat < elision.rhatThreshold) {
             result.converged = true;
-            result.stoppedAtDraw = drawsSoFar;
-            return true;
+            result.stoppedAtDraw = ctx.round;
+            return samplers::MonitorAction::Stop;
         }
-        return false;
+        return samplers::MonitorAction::Continue;
     };
 
     result.run = samplers::run(model, elidedCfg, monitor);

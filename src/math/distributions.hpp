@@ -71,7 +71,7 @@ student_t_lpdf(const TY& y, double nu, const TMu& mu, const TSigma& sigma)
 {
     using T = promote_t<TY, TMu, TSigma>;
     const T z = (y - mu) / sigma;
-    const double norm = std::lgamma(0.5 * (nu + 1.0)) - std::lgamma(0.5 * nu)
+    const double norm = lgammaSafe(0.5 * (nu + 1.0)) - lgammaSafe(0.5 * nu)
         - 0.5 * std::log(nu) - 0.5 * kLogPi;
     return norm - log(sigma)
         - 0.5 * (nu + 1.0) * log1p(square(z) / nu);
@@ -133,7 +133,7 @@ poisson_lpmf(long y, const TLambda& lambda)
 {
     using T = promote_t<TLambda>;
     return static_cast<double>(y) * log(T(lambda)) - lambda
-        - std::lgamma(static_cast<double>(y) + 1.0);
+        - lgammaSafe(static_cast<double>(y) + 1.0);
 }
 
 /** Poisson with log-rate parameterization: lambda = exp(eta). */
@@ -143,7 +143,7 @@ poisson_log_lpmf(long y, const TEta& eta)
 {
     using T = promote_t<TEta>;
     return static_cast<double>(y) * eta - exp(T(eta))
-        - std::lgamma(static_cast<double>(y) + 1.0);
+        - lgammaSafe(static_cast<double>(y) + 1.0);
 }
 
 /** Bernoulli(p) log mass. @pre 0 < p < 1 */
@@ -202,7 +202,7 @@ neg_binomial_2_lpmf(long y, const TMu& mu, const TPhi& phi)
 {
     using T = promote_t<TMu, TPhi>;
     const double ky = static_cast<double>(y);
-    return lgamma(ky + T(phi)) - std::lgamma(ky + 1.0) - lgamma(T(phi))
+    return lgamma(ky + T(phi)) - lgammaSafe(ky + 1.0) - lgamma(T(phi))
         + phi * (log(T(phi)) - log(T(mu) + T(phi)))
         + ky * (log(T(mu)) - log(T(mu) + T(phi)));
 }

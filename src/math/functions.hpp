@@ -56,7 +56,7 @@ inline double square(double x) { return x * x; }
 inline Var
 lgamma(const Var& x)
 {
-    return ad::detail::unaryResult(x, std::lgamma(x.value()),
+    return ad::detail::unaryResult(x, lgammaSafe(x.value()),
                                    digamma(x.value()),
                                    ad::OpClass::Special);
 }
@@ -64,7 +64,7 @@ lgamma(const Var& x)
 inline double
 lgamma(double x)
 {
-    return std::lgamma(x);
+    return lgammaSafe(x);
 }
 
 /** Error function with d/dx = 2/sqrt(pi) exp(-x^2). */

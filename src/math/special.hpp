@@ -94,19 +94,35 @@ stdNormalLpdf(double x)
 /** Inverse of the standard normal CDF (Acklam's algorithm, ~1e-9). */
 double stdNormalQuantile(double p);
 
+/**
+ * Thread-safe log Gamma. glibc's lgamma writes the global `signgam`,
+ * a data race once parallel chains evaluate densities concurrently;
+ * the re-entrant lgamma_r keeps the sign in a local instead.
+ */
+inline double
+lgammaSafe(double x)
+{
+#if defined(__GLIBC__)
+    int sign = 0;
+    return ::lgamma_r(x, &sign);
+#else
+    return std::lgamma(x);
+#endif
+}
+
 /** log Beta(a, b) = lgamma(a) + lgamma(b) - lgamma(a + b). */
 inline double
 lbeta(double a, double b)
 {
-    return std::lgamma(a) + std::lgamma(b) - std::lgamma(a + b);
+    return lgammaSafe(a) + lgammaSafe(b) - lgammaSafe(a + b);
 }
 
 /** log of the binomial coefficient C(n, k). */
 inline double
 lchoose(double n, double k)
 {
-    return std::lgamma(n + 1.0) - std::lgamma(k + 1.0)
-        - std::lgamma(n - k + 1.0);
+    return lgammaSafe(n + 1.0) - lgammaSafe(k + 1.0)
+        - lgammaSafe(n - k + 1.0);
 }
 
 } // namespace bayes::math

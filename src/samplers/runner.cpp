@@ -1,8 +1,10 @@
 #include "samplers/runner.hpp"
 
 #include <cmath>
+#include <future>
 #include <memory>
-#include <thread>
+#include <sstream>
+#include <utility>
 
 #include "samplers/dual_averaging.hpp"
 #include "samplers/hmc.hpp"
@@ -10,6 +12,8 @@
 #include "samplers/nuts.hpp"
 #include "samplers/slice.hpp"
 #include "support/stats.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
 
 namespace bayes::samplers {
 namespace {
@@ -23,12 +27,12 @@ class ChainState
           nuts_(ham_, config.maxTreeDepth),
           hmc_(ham_, config.hmcLeapfrogSteps), mh_(eval_), slice_(eval_)
     {
-        z_.q = findInitialPoint(eval_, rng_);
+        z_.q = findInitialPoint(eval_, rng_, config.seed);
         ham_.refresh(z_);
         if (config_.algorithm == Algorithm::Nuts
             || config_.algorithm == Algorithm::Hmc) {
             const double eps = ham_.findReasonableStepSize(z_, rng_);
-            da_ = std::make_unique<DualAveraging>(eps, config_.targetAccept);
+            da_ = std::make_unique<DualAveraging>(eps, config.targetAccept);
             setStepSize(eps);
         }
         welford_.assign(eval_.dim(), RunningStats{});
@@ -92,6 +96,9 @@ class ChainState
         result.draws.push_back(eval_.constrain(z_.q));
         result.logProbs.push_back(z_.logProb);
     }
+
+    /** Gradient evaluations consumed so far (work counter). */
+    std::uint64_t gradEvals() const { return eval_.numGradEvals(); }
 
     /** Finalize summary statistics. */
     void
@@ -171,11 +178,124 @@ class ChainState
     RunningStats acceptAccum_;
 };
 
+using States = std::vector<std::unique_ptr<ChainState>>;
+
+/** Finalize every chain and hand the results over. */
+RunResult
+collect(States& states)
+{
+    RunResult out;
+    out.chains.resize(states.size());
+    for (std::size_t c = 0; c < states.size(); ++c) {
+        states[c]->finish();
+        out.chains[c] = std::move(states[c]->result);
+    }
+    return out;
+}
+
+/**
+ * Expose the synchronized state to the monitor. Every chain is parked
+ * (sequential round done, or all workers at the barrier), so the draw
+ * storage can be moved into the context view and back without copying.
+ */
+MonitorAction
+askMonitor(const IterationMonitor& monitor, int round, States& states,
+           std::vector<ChainResult>& view,
+           std::vector<std::uint64_t>& gradEvals, const Timer& wall)
+{
+    for (std::size_t c = 0; c < states.size(); ++c) {
+        view[c] = std::move(states[c]->result);
+        gradEvals[c] = states[c]->gradEvals();
+    }
+    const MonitorContext context{round, view, wall.seconds(), gradEvals};
+    const MonitorAction action = monitor(context);
+    for (std::size_t c = 0; c < states.size(); ++c)
+        states[c]->result = std::move(view[c]);
+    return action;
+}
+
+/** Lockstep schedule on the calling thread. */
+RunResult
+runSequential(States& states, int warmup, int sampling,
+              const IterationMonitor& monitor, const Timer& wall)
+{
+    for (int t = 0; t < warmup; ++t)
+        for (auto& chain : states)
+            chain->warmupIteration(t);
+
+    std::vector<ChainResult> view(states.size());
+    std::vector<std::uint64_t> gradEvals(states.size());
+    for (int t = 0; t < sampling; ++t) {
+        for (auto& chain : states)
+            chain->sampleIteration();
+        if (monitor
+            && askMonitor(monitor, t + 1, states, view, gradEvals, wall)
+                == MonitorAction::Stop)
+            break;
+    }
+    return collect(states);
+}
+
+/** No monitor: every chain free-runs its whole schedule as one task. */
+RunResult
+runFreeRunning(support::ThreadPool& pool, States& states, int warmup,
+               int sampling)
+{
+    std::vector<std::future<void>> futures;
+    futures.reserve(states.size());
+    for (auto& chain : states) {
+        futures.push_back(pool.submit([&chain, warmup, sampling] {
+            for (int t = 0; t < warmup; ++t)
+                chain->warmupIteration(t);
+            for (int t = 0; t < sampling; ++t)
+                chain->sampleIteration();
+        }));
+    }
+    support::waitAll(futures);
+    return collect(states);
+}
+
+/**
+ * Phased barrier schedule: chains advance one round in parallel, the
+ * round's futures act as the barrier, the monitor decides on the
+ * calling thread, and the decision is broadcast by either submitting
+ * the next round or collecting. Warmup free-runs (no monitor fires
+ * before the first post-warmup round).
+ */
+RunResult
+runPhased(support::ThreadPool& pool, States& states, int warmup,
+          int sampling, const IterationMonitor& monitor, const Timer& wall)
+{
+    std::vector<std::future<void>> futures;
+    futures.reserve(states.size());
+    for (auto& chain : states) {
+        futures.push_back(pool.submit([&chain, warmup] {
+            for (int t = 0; t < warmup; ++t)
+                chain->warmupIteration(t);
+        }));
+    }
+    support::waitAll(futures);
+
+    std::vector<ChainResult> view(states.size());
+    std::vector<std::uint64_t> gradEvals(states.size());
+    for (int t = 0; t < sampling; ++t) {
+        for (auto& chain : states)
+            futures.push_back(
+                pool.submit([&chain] { chain->sampleIteration(); }));
+        support::waitAll(futures); // the barrier
+        if (askMonitor(monitor, t + 1, states, view, gradEvals, wall)
+            == MonitorAction::Stop)
+            break;
+    }
+    return collect(states);
+}
+
 } // namespace
 
 std::vector<double>
-findInitialPoint(ppl::Evaluator& eval, Rng& rng)
+findInitialPoint(ppl::Evaluator& eval, Rng& rng, std::uint64_t seed)
 {
+    double lastBadLogProb = -INFINITY;
     for (int attempt = 0; attempt < 100; ++attempt) {
         std::vector<double> q(eval.dim());
         for (double& qi : q)
@@ -187,9 +307,14 @@ findInitialPoint(ppl::Evaluator& eval, Rng& rng)
             gradFinite = gradFinite && std::isfinite(g);
         if (gradFinite)
             return q;
+        if (!std::isfinite(lp))
+            lastBadLogProb = lp;
     }
-    throw Error("model '" + eval.model().name()
-                + "': no finite-density initial point in 100 attempts");
+    std::ostringstream os;
+    os << "model '" << eval.model().name()
+       << "': no finite-density initial point in 100 attempts (seed " << seed
+       << ", last non-finite log-density " << lastBadLogProb << ")";
+    throw Error(os.str());
 }
 
 RunResult
@@ -199,13 +324,13 @@ run(const ppl::Model& model, const Config& config,
     BAYES_CHECK(config.chains >= 1, "need at least one chain");
     BAYES_CHECK(config.iterations > config.resolvedWarmup(),
                 "iterations must exceed warmup");
+    BAYES_CHECK(config.execution.workers >= 0,
+                "pool worker count must be >= 0, got "
+                    << config.execution.workers);
 
-    BAYES_CHECK(!(config.parallelChains && monitor),
-                "parallel chains cannot run with an iteration monitor; "
-                "use the lockstep (sequential) schedule for elision");
-
+    const Timer wall;
     Rng master(config.seed);
-    std::vector<std::unique_ptr<ChainState>> states;
+    States states;
     states.reserve(config.chains);
     for (int c = 0; c < config.chains; ++c)
         states.push_back(
@@ -214,58 +339,24 @@ run(const ppl::Model& model, const Config& config,
     const int warmup = config.resolvedWarmup();
     const int sampling = config.iterations - warmup;
 
-    if (config.parallelChains) {
-        // One thread per chain; chains are fully independent, so the
-        // result is draw-for-draw identical to the lockstep schedule.
-        std::vector<std::thread> threads;
-        threads.reserve(config.chains);
-        for (auto& chain : states) {
-            threads.emplace_back([&chain, warmup, sampling] {
-                for (int t = 0; t < warmup; ++t)
-                    chain->warmupIteration(t);
-                for (int t = 0; t < sampling; ++t)
-                    chain->sampleIteration();
-            });
-        }
-        for (auto& thread : threads)
-            thread.join();
-        RunResult out;
-        out.chains.resize(config.chains);
-        for (int c = 0; c < config.chains; ++c) {
-            states[c]->finish();
-            out.chains[c] = std::move(states[c]->result);
-        }
-        return out;
+    switch (config.execution.mode) {
+      case ExecutionMode::Sequential:
+        return runSequential(states, warmup, sampling, monitor, wall);
+      case ExecutionMode::ThreadPerChain: {
+          support::ThreadPool perRun(config.chains);
+          return monitor
+              ? runPhased(perRun, states, warmup, sampling, monitor, wall)
+              : runFreeRunning(perRun, states, warmup, sampling);
+      }
+      case ExecutionMode::Pool: {
+          auto& pool = support::sharedPool(config.execution.workers);
+          return monitor
+              ? runPhased(pool, states, warmup, sampling, monitor, wall)
+              : runFreeRunning(pool, states, warmup, sampling);
+      }
     }
-
-    for (int t = 0; t < warmup; ++t)
-        for (auto& chain : states)
-            chain->warmupIteration(t);
-
-    RunResult out;
-    out.chains.resize(config.chains);
-
-    for (int t = 0; t < sampling; ++t) {
-        for (auto& chain : states)
-            chain->sampleIteration();
-        if (monitor) {
-            // Expose partial results without copying draw storage: move
-            // views in, ask, and move back.
-            for (int c = 0; c < config.chains; ++c)
-                out.chains[c] = std::move(states[c]->result);
-            const bool stop = monitor(t + 1, out.chains);
-            for (int c = 0; c < config.chains; ++c)
-                states[c]->result = std::move(out.chains[c]);
-            if (stop)
-                break;
-        }
-    }
-
-    for (int c = 0; c < config.chains; ++c) {
-        states[c]->finish();
-        out.chains[c] = std::move(states[c]->result);
-    }
-    return out;
+    BAYES_ASSERT(!"unreachable execution mode");
+    return {};
 }
 
 } // namespace bayes::samplers

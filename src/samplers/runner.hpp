@@ -1,19 +1,33 @@
 /**
  * @file
- * Multi-chain driver. Chains execute in lockstep (round-robin, one
- * iteration each) so that a monitor callback can observe all chains
- * after every sampling round — the hook the convergence-elision
- * mechanism (§VI) plugs into. Lockstep order does not change any
+ * Multi-chain driver — the phased barrier executor. Chains advance in
+ * rounds (one iteration per chain per round); after every post-warmup
+ * round the monitor observes all chains at the same draw count and
+ * decides continue/stop — the hook the convergence-elision mechanism
+ * (§VI) plugs into. The schedule across threads never changes any
  * chain's own trajectory: each chain has an independent RNG stream and
- * evaluator.
+ * evaluator, so every ExecutionPolicy yields identical draws and —
+ * because the monitor always sees the same synchronized view — the
+ * identical stop decision.
+ *
+ * Execution is selected by Config::execution:
+ *  - Sequential: rounds run on the calling thread (lockstep).
+ *  - ThreadPerChain: a private worker per chain, torn down with the run.
+ *  - Pool: the process-shared support::ThreadPool, reused across runs.
+ * Without a monitor the parallel modes free-run (no barriers); with a
+ * monitor they synchronize on a barrier each round and the monitor
+ * executes on the calling thread while every chain is parked, so it may
+ * touch caller state without locking.
  *
  * Warmup adaptation mirrors Stan's windowed scheme in simplified form:
  * an initial step-size-only phase, a long variance-accumulation phase
  * that ends by installing the diagonal metric, and a final step-size
- * re-adaptation phase.
+ * re-adaptation phase. No monitor runs during warmup, so warmup always
+ * free-runs in the parallel modes.
  */
 #pragma once
 
+#include <cstdint>
 #include <functional>
 
 #include "ppl/evaluator.hpp"
@@ -23,20 +37,38 @@
 
 namespace bayes::samplers {
 
-/**
- * Observer invoked after every completed post-warmup round.
- * @param drawsSoFar  post-warmup draws completed per chain
- * @param partial     chains being filled (draws valid up to drawsSoFar)
- * @return true to stop sampling early (computation elision)
- */
-using IterationMonitor =
-    std::function<bool(int drawsSoFar, const std::vector<ChainResult>& partial)>;
+/** Monitor verdict after a sampling round. */
+enum class MonitorAction
+{
+    Continue, ///< keep sampling
+    Stop,     ///< terminate the run now (computation elision)
+};
 
 /**
- * Run a multi-chain inference job.
+ * Synchronized cross-chain view handed to the monitor after every
+ * completed post-warmup round. References stay valid only for the
+ * duration of the callback.
+ */
+struct MonitorContext
+{
+    /** Completed post-warmup rounds == draws available per chain. */
+    int round;
+    /** All chains, draws valid up to `round`. */
+    const std::vector<ChainResult>& chains;
+    /** Wall-clock seconds since run() started (warmup included). */
+    double elapsedSeconds;
+    /** Gradient evaluations consumed so far, per chain (all phases). */
+    const std::vector<std::uint64_t>& gradEvalsPerChain;
+};
+
+/** Observer invoked after every completed post-warmup round. */
+using IterationMonitor = std::function<MonitorAction(const MonitorContext&)>;
+
+/**
+ * Run a multi-chain inference job under Config::execution.
  * @param model    the Bayesian model to sample
- * @param config   chains / iterations / algorithm configuration
- * @param monitor  optional early-termination observer
+ * @param config   chains / iterations / algorithm / execution policy
+ * @param monitor  optional early-termination observer (any policy)
  */
 RunResult run(const ppl::Model& model, const Config& config,
               const IterationMonitor& monitor = nullptr);
@@ -44,7 +76,9 @@ RunResult run(const ppl::Model& model, const Config& config,
 /**
  * Draw a finite-density initial point on the unconstrained scale
  * (uniform(-2, 2) per coordinate, up to 100 attempts — Stan's rule).
+ * @param seed  base RNG seed, echoed in the failure diagnostic
  */
-std::vector<double> findInitialPoint(ppl::Evaluator& eval, Rng& rng);
+std::vector<double> findInitialPoint(ppl::Evaluator& eval, Rng& rng,
+                                     std::uint64_t seed = 0);
 
 } // namespace bayes::samplers

@@ -20,6 +20,20 @@ algorithmName(Algorithm algo)
     return "?";
 }
 
+const char*
+executionModeName(ExecutionMode mode)
+{
+    switch (mode) {
+      case ExecutionMode::Sequential:
+        return "sequential";
+      case ExecutionMode::ThreadPerChain:
+        return "thread-per-chain";
+      case ExecutionMode::Pool:
+        return "pool";
+    }
+    return "?";
+}
+
 std::uint64_t
 ChainResult::postWarmupGradEvals() const
 {

@@ -25,6 +25,42 @@ enum class Algorithm
 /** Human-readable algorithm name. */
 const char* algorithmName(Algorithm algo);
 
+/** How the chains of one run are mapped onto threads. */
+enum class ExecutionMode
+{
+    Sequential,     ///< lockstep rounds on the calling thread
+    ThreadPerChain, ///< one dedicated worker per chain, for this run only
+    Pool,           ///< process-shared worker pool, reused across runs
+};
+
+/** Human-readable execution-mode name. */
+const char* executionModeName(ExecutionMode mode);
+
+/**
+ * Chain execution policy. All three modes are draw-for-draw identical
+ * (chains own independent RNG streams and evaluators) and all three
+ * support an IterationMonitor: parallel modes run *phased* — every
+ * chain advances one round, a barrier fires, and the monitor decides
+ * continue/stop on the calling thread before the next round — so
+ * computation elision composes with parallelism.
+ */
+struct ExecutionPolicy
+{
+    ExecutionMode mode = ExecutionMode::Sequential;
+    /** Pool mode: worker count; 0 = hardware concurrency. Else unused. */
+    int workers = 0;
+
+    static ExecutionPolicy sequential() { return {}; }
+    static ExecutionPolicy threadPerChain()
+    {
+        return {ExecutionMode::ThreadPerChain, 0};
+    }
+    static ExecutionPolicy pool(int workers = 0)
+    {
+        return {ExecutionMode::Pool, workers};
+    }
+};
+
 /** Configuration of a multi-chain run. */
 struct Config
 {
@@ -46,13 +82,8 @@ struct Config
     int hmcLeapfrogSteps = 32;
     /** Adapt the diagonal metric during warmup (ablation knob). */
     bool adaptMetric = true;
-    /**
-     * Execute chains on real threads (one per chain). Draw-for-draw
-     * identical to the sequential schedule (independent RNG streams and
-     * evaluators); requires no monitor (the elision monitor needs the
-     * lockstep schedule).
-     */
-    bool parallelChains = false;
+    /** How chains are executed (see ExecutionPolicy). */
+    ExecutionPolicy execution;
     /** Base RNG seed; chain c uses the c-th fork of this stream. */
     std::uint64_t seed = 20190331;
 

@@ -1,0 +1,112 @@
+#include "support/thread_pool.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "support/error.hpp"
+
+namespace bayes::support {
+
+ThreadPool::ThreadPool(int workers)
+{
+    BAYES_CHECK(workers >= 1, "thread pool needs at least one worker, got "
+                                  << workers);
+    workers_.reserve(static_cast<std::size_t>(workers));
+    for (int i = 0; i < workers; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (auto& worker : workers_)
+        worker.join();
+}
+
+std::future<void>
+ThreadPool::submit(std::function<void()> task)
+{
+    // Hand-rolled promise instead of std::packaged_task so the
+    // completion counter is bumped *before* the future resolves: a
+    // caller returning from waitAll() must observe every finished task
+    // in tasksCompleted().
+    auto promise = std::make_shared<std::promise<void>>();
+    std::future<void> future = promise->get_future();
+    auto wrapped = [this, task = std::move(task), promise] {
+        try {
+            task();
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            promise->set_value();
+        } catch (...) {
+            completed_.fetch_add(1, std::memory_order_relaxed);
+            promise->set_exception(std::current_exception());
+        }
+    };
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        BAYES_CHECK(!stopping_, "submit on a stopping thread pool");
+        queue_.push_back(std::move(wrapped));
+    }
+    cv_.notify_one();
+    return future;
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            if (queue_.empty())
+                return; // stopping and drained
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task(); // exceptions land in the task's future
+    }
+}
+
+ThreadPool&
+sharedPool(int workers)
+{
+    BAYES_CHECK(workers >= 0, "pool worker count must be >= 0, got "
+                                  << workers);
+    int resolved = workers;
+    if (resolved == 0)
+        resolved =
+            std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
+    static std::mutex mutex;
+    static std::map<int, std::unique_ptr<ThreadPool>> pools;
+    std::lock_guard<std::mutex> lock(mutex);
+    auto& slot = pools[resolved];
+    if (!slot)
+        slot = std::make_unique<ThreadPool>(resolved);
+    return *slot;
+}
+
+void
+waitAll(std::vector<std::future<void>>& futures)
+{
+    std::exception_ptr first;
+    for (auto& future : futures) {
+        try {
+            future.get();
+        } catch (...) {
+            if (!first)
+                first = std::current_exception();
+        }
+    }
+    futures.clear();
+    if (first)
+        std::rethrow_exception(first);
+}
+
+} // namespace bayes::support

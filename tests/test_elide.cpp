@@ -128,6 +128,41 @@ TEST(Elision, RespectsMinDrawsAndInterval)
     EXPECT_EQ(result.rhatTrace.front().draw % 100, 0);
 }
 
+TEST(Elision, StopDecisionIsIdenticalUnderEveryExecutionPolicy)
+{
+    // The tentpole guarantee: elision composes with parallelism. The
+    // phased barrier executor must reproduce the sequential schedule's
+    // draws, R-hat trace and stop iteration exactly.
+    const auto wl = workloads::makeWorkload("12cities", 0.25);
+    samplers::Config cfg;
+    cfg.chains = 4;
+    cfg.iterations = 800;
+    const auto sequential = runWithElision(*wl, cfg);
+
+    for (const auto policy :
+         {samplers::ExecutionPolicy::threadPerChain(),
+          samplers::ExecutionPolicy::pool(2)}) {
+        cfg.execution = policy;
+        const auto parallel = runWithElision(*wl, cfg);
+        EXPECT_EQ(parallel.converged, sequential.converged);
+        EXPECT_EQ(parallel.stoppedAtDraw, sequential.stoppedAtDraw);
+        EXPECT_EQ(parallel.executedIterations,
+                  sequential.executedIterations);
+        ASSERT_EQ(parallel.rhatTrace.size(), sequential.rhatTrace.size());
+        for (std::size_t i = 0; i < parallel.rhatTrace.size(); ++i) {
+            EXPECT_EQ(parallel.rhatTrace[i].draw,
+                      sequential.rhatTrace[i].draw);
+            EXPECT_EQ(parallel.rhatTrace[i].rhat,
+                      sequential.rhatTrace[i].rhat);
+        }
+        ASSERT_EQ(parallel.run.chains.size(),
+                  sequential.run.chains.size());
+        for (std::size_t c = 0; c < parallel.run.chains.size(); ++c)
+            EXPECT_EQ(parallel.run.chains[c].draws,
+                      sequential.run.chains[c].draws);
+    }
+}
+
 TEST(Elision, RequiresMultipleChains)
 {
     const auto wl = workloads::makeWorkload("12cities", 0.25);

@@ -2,11 +2,14 @@
  * @file
  * Sampler correctness: posterior moment recovery on analytically known
  * targets for MH, HMC and NUTS; dual-averaging behavior; runner
- * determinism and the early-stop monitor contract.
+ * determinism; the phased-executor guarantees (identical draws and
+ * stop decisions under every ExecutionPolicy); and the monitor
+ * contract.
  */
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "math/distributions.hpp"
 #include "samplers/dual_averaging.hpp"
@@ -147,14 +150,46 @@ TEST(Samplers, MonitorCanStopEarly)
     const auto cfg = baseConfig(Algorithm::Nuts, 1000);
     int calls = 0;
     const auto result =
-        run(model, cfg, [&](int draws, const auto& chains) {
+        run(model, cfg, [&](const MonitorContext& ctx) {
             ++calls;
-            EXPECT_EQ(static_cast<int>(chains[0].draws.size()), draws);
-            return draws >= 50;
+            EXPECT_EQ(static_cast<int>(ctx.chains[0].draws.size()),
+                      ctx.round);
+            return ctx.round >= 50 ? MonitorAction::Stop
+                                   : MonitorAction::Continue;
         });
     EXPECT_EQ(calls, 50);
     for (const auto& chain : result.chains)
         EXPECT_EQ(chain.draws.size(), 50u);
+}
+
+TEST(Samplers, MonitorContextExposesSynchronizedState)
+{
+    GaussianTarget model;
+    auto cfg = baseConfig(Algorithm::Nuts, 200);
+    cfg.chains = 3;
+    int lastRound = 0;
+    double lastElapsed = 0.0;
+    std::vector<std::uint64_t> lastGradEvals;
+    run(model, cfg, [&](const MonitorContext& ctx) {
+        EXPECT_EQ(ctx.round, lastRound + 1);
+        lastRound = ctx.round;
+        EXPECT_EQ(ctx.chains.size(), 3u);
+        for (const auto& chain : ctx.chains)
+            EXPECT_EQ(static_cast<int>(chain.draws.size()), ctx.round);
+        EXPECT_GE(ctx.elapsedSeconds, lastElapsed);
+        lastElapsed = ctx.elapsedSeconds;
+        EXPECT_EQ(ctx.gradEvalsPerChain.size(), 3u);
+        if (lastGradEvals.empty())
+            lastGradEvals.assign(3, 0);
+        for (std::size_t c = 0; c < 3; ++c) {
+            EXPECT_GT(ctx.gradEvalsPerChain[c], 0u);
+            EXPECT_GE(ctx.gradEvalsPerChain[c], lastGradEvals[c]);
+        }
+        lastGradEvals.assign(ctx.gradEvalsPerChain.begin(),
+                             ctx.gradEvalsPerChain.end());
+        return MonitorAction::Continue;
+    });
+    EXPECT_EQ(lastRound, 100); // ran the full post-warmup budget
 }
 
 TEST(Samplers, WorkCountersArePopulated)
@@ -192,6 +227,9 @@ TEST(Samplers, ConfigValidation)
     badIters.iterations = 100;
     badIters.warmup = 100;
     EXPECT_THROW(run(model, badIters), Error);
+    Config badPool;
+    badPool.execution = ExecutionPolicy::pool(-2);
+    EXPECT_THROW(run(model, badPool), Error);
 }
 
 TEST(DualAveraging, ConvergesTowardTargetFromBothSides)
@@ -222,31 +260,135 @@ TEST(Samplers, AlgorithmNames)
     EXPECT_STREQ(algorithmName(Algorithm::Mh), "MH");
 }
 
-TEST(Samplers, ParallelChainsMatchSequentialExactly)
+void
+expectIdenticalDraws(const RunResult& a, const RunResult& b)
+{
+    ASSERT_EQ(a.chains.size(), b.chains.size());
+    for (std::size_t c = 0; c < a.chains.size(); ++c) {
+        ASSERT_EQ(a.chains[c].draws.size(), b.chains[c].draws.size());
+        for (std::size_t t = 0; t < a.chains[c].draws.size(); ++t)
+            EXPECT_EQ(a.chains[c].draws[t], b.chains[c].draws[t]);
+        EXPECT_EQ(a.chains[c].logProbs, b.chains[c].logProbs);
+        EXPECT_EQ(a.chains[c].totalGradEvals, b.chains[c].totalGradEvals);
+    }
+}
+
+TEST(Samplers, AllExecutionPoliciesMatchSequentialExactly)
+{
+    GaussianTarget model;
+    const struct
+    {
+        Algorithm algo;
+        int iterations;
+    } cases[] = {{Algorithm::Nuts, 300},
+                 {Algorithm::Hmc, 200},
+                 {Algorithm::Mh, 400},
+                 {Algorithm::Slice, 200}};
+    for (const auto& c : cases) {
+        auto cfg = baseConfig(c.algo, c.iterations);
+        cfg.chains = 4;
+        cfg.hmcLeapfrogSteps = 8;
+        const auto sequential = run(model, cfg);
+        for (const auto policy : {ExecutionPolicy::threadPerChain(),
+                                  ExecutionPolicy::pool(2),
+                                  ExecutionPolicy::pool()}) {
+            cfg.execution = policy;
+            expectIdenticalDraws(run(model, cfg), sequential);
+        }
+    }
+}
+
+TEST(Samplers, PhasedMonitorStopsAtSameRoundUnderEveryPolicy)
 {
     GaussianTarget model;
     auto cfg = baseConfig(Algorithm::Nuts, 300);
     cfg.chains = 4;
-    const auto sequential = run(model, cfg);
-    cfg.parallelChains = true;
-    const auto parallel = run(model, cfg);
-    ASSERT_EQ(parallel.chains.size(), sequential.chains.size());
-    for (std::size_t c = 0; c < parallel.chains.size(); ++c) {
-        ASSERT_EQ(parallel.chains[c].draws.size(),
-                  sequential.chains[c].draws.size());
-        for (std::size_t t = 0; t < parallel.chains[c].draws.size(); ++t)
-            EXPECT_EQ(parallel.chains[c].draws[t],
-                      sequential.chains[c].draws[t]);
+    const IterationMonitor stopAt40 = [](const MonitorContext& ctx) {
+        return ctx.round >= 40 ? MonitorAction::Stop
+                               : MonitorAction::Continue;
+    };
+    const auto sequential = run(model, cfg, stopAt40);
+    for (const auto& chain : sequential.chains)
+        EXPECT_EQ(chain.draws.size(), 40u);
+    for (const auto policy : {ExecutionPolicy::threadPerChain(),
+                              ExecutionPolicy::pool(2)}) {
+        cfg.execution = policy;
+        expectIdenticalDraws(run(model, cfg, stopAt40), sequential);
     }
 }
 
-TEST(Samplers, ParallelChainsRejectMonitor)
+TEST(Samplers, MonitorExceptionPropagatesFromPhasedExecutor)
 {
     GaussianTarget model;
     auto cfg = baseConfig(Algorithm::Nuts, 100);
-    cfg.parallelChains = true;
-    EXPECT_THROW(run(model, cfg, [](int, const auto&) { return false; }),
+    cfg.execution = ExecutionPolicy::pool(2);
+    EXPECT_THROW(run(model, cfg,
+                     [](const MonitorContext&) -> MonitorAction {
+                         throw Error("monitor bailed");
+                     }),
                  Error);
+}
+
+TEST(Samplers, ExecutionModeNames)
+{
+    EXPECT_STREQ(executionModeName(ExecutionMode::Sequential),
+                 "sequential");
+    EXPECT_STREQ(executionModeName(ExecutionMode::ThreadPerChain),
+                 "thread-per-chain");
+    EXPECT_STREQ(executionModeName(ExecutionMode::Pool), "pool");
+}
+
+/** Target whose density is -inf everywhere (no valid initial point). */
+class ImproperTarget : public ppl::Model
+{
+  public:
+    ImproperTarget()
+        : layout_({{"x", 1, ppl::TransformKind::Identity, 0, 0}})
+    {
+    }
+
+    const std::string& name() const override { return name_; }
+    const ppl::ParamLayout& layout() const override { return layout_; }
+    std::size_t modeledDataBytes() const override { return 0; }
+
+    double logProb(const ppl::ParamView<double>& p) const override
+    {
+        return body(p);
+    }
+    ad::Var logProb(const ppl::ParamView<ad::Var>& p) const override
+    {
+        return body(p);
+    }
+
+  private:
+    template <typename T>
+    T
+    body(const ppl::ParamView<T>& p) const
+    {
+        return T(-std::numeric_limits<double>::infinity()) * p.scalar(0);
+    }
+
+    std::string name_ = "improper";
+    ppl::ParamLayout layout_;
+};
+
+TEST(Samplers, InitialPointFailureReportsSeedAndDensity)
+{
+    ImproperTarget model;
+    Config cfg;
+    cfg.chains = 1;
+    cfg.iterations = 10;
+    cfg.warmup = 5;
+    cfg.seed = 4242;
+    try {
+        run(model, cfg);
+        FAIL() << "expected initial-point failure";
+    } catch (const Error& e) {
+        const std::string msg = e.what();
+        EXPECT_NE(msg.find("seed 4242"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("log-density"), std::string::npos) << msg;
+        EXPECT_NE(msg.find("inf"), std::string::npos) << msg;
+    }
 }
 
 TEST(Samplers, CoordinateExtraction)

@@ -9,8 +9,8 @@
  *   bayessuite_cli --list
  *   bayessuite_cli <workload> [--algorithm nuts|hmc|mh|slice|advi]
  *       [--chains N] [--iterations N] [--seed S] [--scale F]
- *       [--elide] [--simulate skylake|broadwell] [--cores N]
- *       [--dump draws.csv]
+ *       [--execution seq|threads|pool[:N]] [--elide]
+ *       [--simulate skylake|broadwell] [--cores N] [--dump draws.csv]
  */
 #include <cstdio>
 #include <cstring>
@@ -54,6 +54,8 @@ usage()
         "workload's)\n"
         "  --seed S                       RNG seed\n"
         "  --scale F                      dataset scale in (0,1]\n"
+        "  --execution seq|threads|pool[:N]  chain execution policy\n"
+        "                                 (pool:N = shared pool, N workers)\n"
         "  --elide                        runtime convergence detection\n"
         "  --simulate skylake|broadwell   architecture simulation\n"
         "  --cores N                      simulated cores (default: 4)\n"
@@ -104,6 +106,23 @@ parse(int argc, char** argv, CliOptions& opt)
             opt.iterationsSet = true;
         } else if (arg == "--seed") {
             opt.config.seed = std::stoull(next());
+        } else if (arg == "--execution") {
+            const std::string e = next();
+            if (e == "seq" || e == "sequential")
+                opt.config.execution =
+                    samplers::ExecutionPolicy::sequential();
+            else if (e == "threads" || e == "thread-per-chain")
+                opt.config.execution =
+                    samplers::ExecutionPolicy::threadPerChain();
+            else if (e == "pool")
+                opt.config.execution = samplers::ExecutionPolicy::pool();
+            else if (e.rfind("pool:", 0) == 0 && e.size() > 5
+                     && e.find_first_not_of("0123456789", 5)
+                            == std::string::npos)
+                opt.config.execution =
+                    samplers::ExecutionPolicy::pool(std::stoi(e.substr(5)));
+            else
+                throw Error("unknown execution policy '" + e + "'");
         } else if (arg == "--scale") {
             opt.dataScale = std::stod(next());
         } else if (arg == "--elide") {
@@ -197,8 +216,10 @@ main(int argc, char** argv)
         } else {
             run = samplers::run(*wl, opt.config);
         }
-        std::printf("sampled %s in %.1fs wall\n", wl->name().c_str(),
-                    timer.seconds());
+        std::printf("sampled %s in %.1fs wall (%s execution)\n",
+                    wl->name().c_str(), timer.seconds(),
+                    samplers::executionModeName(
+                        opt.config.execution.mode));
 
         const auto summary = diagnostics::summarize(run, wl->layout());
         std::printf("%s", summary.table().str().c_str());
