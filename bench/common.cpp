@@ -1,7 +1,10 @@
 #include "common.hpp"
 
 #include <cstdio>
+#include <cstdlib>
+#include <fstream>
 
+#include "obs/obs.hpp"
 #include "support/timer.hpp"
 
 namespace bayes::bench {
@@ -45,6 +48,23 @@ prepareSuite(double dataScale, int iterations,
         suite.push_back(
             prepareWorkload(name, dataScale, iterations, execution));
     return suite;
+}
+
+void
+writeRunReport(const std::string& benchName)
+{
+    const char* dir = std::getenv("BAYES_BENCH_METRICS_DIR");
+    if (dir == nullptr || *dir == '\0')
+        return;
+    const std::string path = std::string(dir) + "/" + benchName + ".json";
+    std::ofstream os(path);
+    if (!os) {
+        std::fprintf(stderr, "[bench] cannot write run report %s\n",
+                     path.c_str());
+        return;
+    }
+    obs::Registry::global().snapshot().writeJson(os);
+    std::fprintf(stderr, "[bench] run report written to %s\n", path.c_str());
 }
 
 } // namespace bayes::bench

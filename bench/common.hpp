@@ -60,4 +60,12 @@ std::vector<SuiteEntry> prepareSuite(double dataScale = 1.0,
 /** Reduced iteration count used by iteration-invariant benches. */
 inline constexpr int kShortIterations = 240;
 
+/**
+ * Emit the bench's machine-readable run report: the obs metrics
+ * snapshot as JSON, written to `$BAYES_BENCH_METRICS_DIR/<name>.json`.
+ * No-op unless the environment variable is set, so interactive bench
+ * runs stay file-free. Call once at the end of main().
+ */
+void writeRunReport(const std::string& benchName);
+
 } // namespace bayes::bench

@@ -55,20 +55,25 @@ main()
     std::fprintf(stderr, "[bench] sampling 12cities full budget...\n");
     const auto fullRun = samplers::run(*wl, cfg);
 
+    // The R-hat trajectory replays the live detector's own check
+    // schedule (elide::convergenceTrace) instead of re-implementing the
+    // interval walk here; only the KL column is bench-specific.
+    elide::ElisionConfig detector;
+    detector.minDraws = 50; // trace from the first informative window
+    const auto rhatTrace =
+        elide::convergenceTrace(fullRun.chains, detector);
+
     Table trace({"draws/chain", "Rhat(window)", "KL vs ground truth"});
     int convergedAt = -1;
-    const int interval = 25;
-    for (int draws = 50; draws <= cfg.postWarmup(); draws += interval) {
-        const double rhat =
-            elide::detectorRhat(fullRun.chains, draws, 0.5);
+    for (const auto& sample : rhatTrace) {
         const double kl = diagnostics::gaussianKl(
-            pooledUpTo(fullRun, draws), groundTruth);
+            pooledUpTo(fullRun, sample.draw), groundTruth);
         trace.row()
-            .cell(static_cast<long>(draws))
-            .cell(rhat, 4)
+            .cell(static_cast<long>(sample.draw))
+            .cell(sample.rhat, 4)
             .cell(kl, 5);
-        if (convergedAt < 0 && rhat < 1.1)
-            convergedAt = draws;
+        if (convergedAt < 0 && sample.rhat < detector.rhatThreshold)
+            convergedAt = sample.draw;
     }
     printSection("Figure 5 — 12cities convergence trace "
                  "(R-hat over the recent-half window; KL vs 2x ground "
@@ -110,5 +115,6 @@ main()
     summary.row().cell("slowest/fastest chain ratio [paper: 1.7]").cell(
         slowest / fastest, 2);
     printSection("Figure 5 — convergence summary", summary);
+    bench::writeRunReport("fig5_convergence_trace");
     return 0;
 }

@@ -6,11 +6,13 @@
  * on a Skylake server (the paper's §VI mechanism).
  */
 #include <cstdio>
+#include <fstream>
 
 #include "archsim/system.hpp"
 #include "diagnostics/convergence.hpp"
 #include "diagnostics/summary.hpp"
 #include "elide/elision.hpp"
+#include "obs/obs.hpp"
 #include "samplers/runner.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
@@ -34,6 +36,10 @@ main()
     std::printf("Running %s with runtime convergence detection "
                 "(phased on the pool)...\n",
                 wl->name().c_str());
+    // The detector publishes its decisions through the obs layer: the
+    // trace carries an `elide.rhat` counter track, the registry the
+    // check/stop rollup. No ad-hoc logging needed here.
+    obs::Tracer::global().start();
     Timer pooledTimer;
     const auto elided = elide::runWithElision(*wl, cfg);
     const double pooledSeconds = pooledTimer.seconds();
@@ -50,10 +56,29 @@ main()
                 elided.stoppedAtDraw, elidedSeq.stoppedAtDraw,
                 pooledSeconds, seqSeconds, seqSeconds / pooledSeconds);
 
-    std::printf("\nR-hat trace of the elided run:\n");
-    for (const auto& sample : elided.rhatTrace)
-        std::printf("  draw %4d: R-hat = %.4f%s\n", sample.draw,
-                    sample.rhat, sample.rhat < 1.1 ? "  <- converged" : "");
+    // Detector telemetry straight from the obs registry — this is the
+    // same data `bayessuite_cli --metrics-out` exports.
+    obs::Tracer::global().stop();
+    const auto snap = obs::Registry::global().snapshot();
+    const obs::HistogramStats* rhatStats = snap.histogram("elide.rhat");
+    std::printf("\nDetector telemetry (obs registry):\n");
+    std::printf("  R-hat checks:        %llu\n",
+                static_cast<unsigned long long>(snap.counter(
+                    "elide.checks")));
+    if (rhatStats != nullptr)
+        std::printf("  R-hat range checked: [%.4f, %.4f], last %.4f\n",
+                    rhatStats->min, rhatStats->max, snap.gauge(
+                        "elide.last_rhat"));
+    std::printf("  stop draw:           %.0f\n", snap.gauge(
+                    "elide.stop_draw"));
+    {
+        std::ofstream os("early_stopping.trace.json");
+        obs::Tracer::global().writeJson(os);
+        std::printf("  trace written to early_stopping.trace.json "
+                    "(%zu events; the elide.rhat counter track in "
+                    "ui.perfetto.dev is the R-hat trajectory)\n",
+                    obs::Tracer::global().eventCount());
+    }
 
     // Posterior quality: compare a few coordinates.
     const auto sumFull = diagnostics::summarize(full, wl->layout());

@@ -8,11 +8,38 @@
 
 #include "diagnostics/convergence.hpp"
 #include "diagnostics/summary.hpp"
+#include "obs/obs.hpp"
 #include "samplers/runner.hpp"
 #include "support/thread_pool.hpp"
 
 namespace bayes::dse {
 namespace {
+
+/** Exploration telemetry (catalogued in docs/observability.md). */
+struct DseMetrics
+{
+    obs::Counter& explorations =
+        obs::Registry::global().counter("dse.explorations");
+    obs::Counter& samplingRuns =
+        obs::Registry::global().counter("dse.sampling_runs");
+    obs::Counter& points = obs::Registry::global().counter("dse.points");
+    obs::Counter& pointsQualityOk =
+        obs::Registry::global().counter("dse.points_quality_ok");
+    obs::Gauge& oracleEnergyJ =
+        obs::Registry::global().gauge("dse.oracle_energy_j");
+    obs::Gauge& elisionEnergySaving =
+        obs::Registry::global().gauge("dse.elision_energy_saving");
+    obs::Histogram& pointEnergyJ =
+        obs::Registry::global().histogram("dse.point_energy_j");
+    obs::Histogram& pointKl =
+        obs::Registry::global().histogram("dse.point_kl");
+
+    static DseMetrics& get()
+    {
+        static DseMetrics* m = new DseMetrics; // leaked, like Registry
+        return *m;
+    }
+};
 
 /** Pool draws per coordinate: [coordinate][sample]. */
 std::vector<std::vector<double>>
@@ -59,6 +86,9 @@ explore(const workloads::Workload& workload,
     BAYES_CHECK(!config.coreCounts.empty() && !config.chainCounts.empty()
                     && !config.iterFractions.empty(),
                 "empty exploration grid");
+    obs::Span exploreSpan("dse.explore");
+    DseMetrics& metrics = DseMetrics::get();
+    metrics.explorations.add();
     DseResult result;
     result.workload = workload.name();
     result.platform = platform.name;
@@ -74,13 +104,19 @@ explore(const workloads::Workload& workload,
     const bool pooledDriver =
         config.execution.mode != samplers::ExecutionMode::Sequential;
     std::vector<std::future<void>> pending;
-    auto dispatch = [&](std::function<void()> samplingTask) {
+    auto dispatch = [&](std::string label,
+                        std::function<void()> samplingTask) {
+        metrics.samplingRuns.add();
+        auto traced = [label = std::move(label),
+                       task = std::move(samplingTask)] {
+            obs::Span span("dse.run:" + label);
+            task();
+        };
         if (pooledDriver)
-            pending.push_back(
-                support::sharedPool(config.execution.workers)
-                    .submit(std::move(samplingTask)));
+            pending.push_back(support::sharedPool(config.execution.workers)
+                                  .submit(std::move(traced)));
         else
-            samplingTask();
+            traced();
     };
 
     // Ground truth: the user configuration with twice the iterations.
@@ -89,7 +125,7 @@ explore(const workloads::Workload& workload,
     gtCfg.iterations = userIters * 2;
     gtCfg.seed = config.seed ^ 0x5157u;
     samplers::RunResult gtRun;
-    dispatch([&gtRun, &workload, gtCfg] {
+    dispatch("ground-truth", [&gtRun, &workload, gtCfg] {
         gtRun = samplers::run(workload, gtCfg);
     });
 
@@ -99,7 +135,7 @@ explore(const workloads::Workload& workload,
     userCfg.iterations = userIters;
     userCfg.seed = config.seed;
     samplers::RunResult userRun;
-    dispatch([&userRun, &workload, userCfg] {
+    dispatch("user", [&userRun, &workload, userCfg] {
         userRun = samplers::run(workload, userCfg);
     });
 
@@ -126,9 +162,11 @@ explore(const workloads::Workload& workload,
         cfg.chains = cand.chains;
         cfg.iterations = cand.iterations;
         cfg.seed = config.seed + cand.chains * 1000 + cand.iterations;
-        dispatch([&cand, &workload, cfg] {
-            cand.run = samplers::run(workload, cfg);
-        });
+        dispatch(std::to_string(cand.chains) + "ch-"
+                     + std::to_string(cand.iterations) + "it",
+                 [&cand, &workload, cfg] {
+                     cand.run = samplers::run(workload, cfg);
+                 });
     }
 
     // Elision-achievable run: 4 chains + runtime detection.
@@ -137,7 +175,7 @@ explore(const workloads::Workload& workload,
     cdCfg.iterations = userIters;
     cdCfg.seed = config.seed;
     elide::ElisionResult elided;
-    dispatch([&elided, &workload, cdCfg] {
+    dispatch("cd", [&elided, &workload, cdCfg] {
         elided = elide::runWithElision(workload, cdCfg);
     });
 
@@ -222,6 +260,22 @@ explore(const workloads::Workload& workload,
     for (const auto& p : result.elision)
         consider(p);
     result.oracle = *oracle;
+
+    // Per-grid-point rollups for the metrics exporter.
+    auto rollup = [&](const DesignPoint& p) {
+        metrics.points.add();
+        if (p.qualityOk)
+            metrics.pointsQualityOk.add();
+        metrics.pointEnergyJ.observe(p.energyJ);
+        metrics.pointKl.observe(p.kl);
+    };
+    rollup(result.user);
+    for (const auto& p : result.grid)
+        rollup(p);
+    for (const auto& p : result.elision)
+        rollup(p);
+    metrics.oracleEnergyJ.set(result.oracle.energyJ);
+    metrics.elisionEnergySaving.set(result.elisionEnergySaving());
     return result;
 }
 

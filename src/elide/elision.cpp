@@ -3,10 +3,35 @@
 #include <algorithm>
 
 #include "diagnostics/convergence.hpp"
+#include "obs/obs.hpp"
 #include "samplers/runner.hpp"
 #include "support/timer.hpp"
 
 namespace bayes::elide {
+namespace {
+
+/** Detector telemetry (catalogued in docs/observability.md). */
+struct ElideMetrics
+{
+    obs::Counter& checks = obs::Registry::global().counter("elide.checks");
+    obs::Counter& convergedRuns =
+        obs::Registry::global().counter("elide.converged_runs");
+    obs::Counter& elidedIterations =
+        obs::Registry::global().counter("elide.elided_iterations");
+    obs::Gauge& lastRhat = obs::Registry::global().gauge("elide.last_rhat");
+    obs::Gauge& stopDraw = obs::Registry::global().gauge("elide.stop_draw");
+    obs::Histogram& rhat = obs::Registry::global().histogram("elide.rhat");
+    obs::Histogram& checkSeconds =
+        obs::Registry::global().histogram("elide.check_seconds");
+
+    static ElideMetrics& get()
+    {
+        static ElideMetrics* m = new ElideMetrics; // leaked, like Registry
+        return *m;
+    }
+};
+
+} // namespace
 
 double
 ElisionResult::elidedFraction() const
@@ -49,6 +74,27 @@ detectorRhat(const std::vector<samplers::ChainResult>& chains,
     return worst;
 }
 
+bool
+detectorChecksAt(const ElisionConfig& config, int draw)
+{
+    return draw >= config.minDraws && draw % config.checkInterval == 0;
+}
+
+std::vector<RhatSample>
+convergenceTrace(const std::vector<samplers::ChainResult>& chains,
+                 const ElisionConfig& config)
+{
+    BAYES_CHECK(!chains.empty() && !chains[0].draws.empty(),
+                "convergenceTrace needs a completed run");
+    const int draws = static_cast<int>(chains[0].draws.size());
+    std::vector<RhatSample> trace;
+    for (int draw = 1; draw <= draws; ++draw)
+        if (detectorChecksAt(config, draw))
+            trace.push_back(RhatSample{
+                draw, detectorRhat(chains, draw, config.windowFraction)});
+    return trace;
+}
+
 ElisionResult
 runWithElision(const ppl::Model& model, const samplers::Config& config,
                const ElisionConfig& elision)
@@ -64,19 +110,31 @@ runWithElision(const ppl::Model& model, const samplers::Config& config,
     result.budgetDraws = elidedCfg.postWarmup();
     result.budgetIterations = config.iterations;
 
+    ElideMetrics& metrics = ElideMetrics::get();
+
     // Runs on the coordinating thread with every chain parked at the
     // barrier (any ExecutionPolicy), so plain writes to `result` are
     // safe and the stop decision is schedule-independent.
     samplers::IterationMonitor monitor =
         [&](const samplers::MonitorContext& ctx) -> samplers::MonitorAction {
-        if (ctx.round < elision.minDraws
-            || ctx.round % elision.checkInterval != 0)
+        if (!detectorChecksAt(elision, ctx.round))
             return samplers::MonitorAction::Continue;
         Timer timer;
-        const double rhat =
-            detectorRhat(ctx.chains, ctx.round, elision.windowFraction);
-        result.detectorSeconds += timer.seconds();
+        double rhat;
+        {
+            obs::Span span("elide.rhat_check");
+            rhat = detectorRhat(ctx.chains, ctx.round,
+                                elision.windowFraction);
+        }
+        const double checkSeconds = timer.seconds();
+        result.detectorSeconds += checkSeconds;
         result.rhatTrace.push_back(RhatSample{ctx.round, rhat});
+        metrics.checks.add();
+        metrics.checkSeconds.observe(checkSeconds);
+        metrics.rhat.observe(rhat);
+        metrics.lastRhat.set(rhat);
+        // The R-hat trajectory as a Perfetto counter track.
+        obs::Tracer::global().counter("elide.rhat", rhat);
         if (rhat < elision.rhatThreshold) {
             result.converged = true;
             result.stoppedAtDraw = ctx.round;
@@ -91,6 +149,13 @@ runWithElision(const ppl::Model& model, const samplers::Config& config,
             static_cast<int>(result.run.chains[0].draws.size());
     result.executedIterations =
         static_cast<int>(result.run.chains[0].iterStats.size());
+    metrics.stopDraw.set(result.stoppedAtDraw);
+    if (result.converged) {
+        metrics.convergedRuns.add();
+        metrics.elidedIterations.add(static_cast<std::uint64_t>(
+            std::max(0, result.budgetIterations
+                            - result.executedIterations)));
+    }
     return result;
 }
 

@@ -93,4 +93,19 @@ ElisionResult runWithElision(const ppl::Model& model,
 double detectorRhat(const std::vector<samplers::ChainResult>& chains,
                     int drawsSoFar, double windowFraction);
 
+/** True when the detector evaluates R-hat at @p draw under @p config. */
+bool detectorChecksAt(const ElisionConfig& config, int draw);
+
+/**
+ * Replay the detector's check schedule over an already-completed run:
+ * one RhatSample per point where the live detector would have
+ * evaluated, across *all* available draws (no early stop). This is the
+ * offline twin of the `ElisionResult::rhatTrace` a live elided run
+ * records — benches use it to trace convergence beyond the stop point
+ * (Fig. 5) without re-implementing the check schedule.
+ */
+std::vector<RhatSample>
+convergenceTrace(const std::vector<samplers::ChainResult>& chains,
+                 const ElisionConfig& config = ElisionConfig{});
+
 } // namespace bayes::elide

@@ -1,0 +1,152 @@
+#include "obs/trace.hpp"
+
+#include <cmath>
+#include <ostream>
+#include <sstream>
+
+namespace bayes::obs {
+namespace {
+
+void
+jsonEscape(std::ostream& os, const std::string& s)
+{
+    for (char c : s) {
+        switch (c) {
+          case '"': os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20)
+                os << "\\u00" << "0123456789abcdef"[(c >> 4) & 0xf]
+                   << "0123456789abcdef"[c & 0xf];
+            else
+                os << c;
+        }
+    }
+}
+
+} // namespace
+
+int
+traceTid() noexcept
+{
+    static std::atomic<int> next{1};
+    thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
+}
+
+Tracer&
+Tracer::global() noexcept
+{
+    // Leaked on purpose, like Registry::global(): spans may finish on
+    // pool workers that outlive ordinary static destruction.
+    static Tracer* instance = new Tracer;
+    return *instance;
+}
+
+void
+Tracer::start()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.clear();
+    epoch_ = std::chrono::steady_clock::now();
+    active_.store(true, std::memory_order_relaxed);
+}
+
+void
+Tracer::stop()
+{
+    active_.store(false, std::memory_order_relaxed);
+}
+
+double
+Tracer::nowUs() const noexcept
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+}
+
+void
+Tracer::counter(const std::string& name, double value)
+{
+    if (!active())
+        return;
+    record(TraceEvent{name, 'C', nowUs(), 0.0, traceTid(), value});
+}
+
+void
+Tracer::instant(const std::string& name)
+{
+    if (!active())
+        return;
+    record(TraceEvent{name, 'i', nowUs(), 0.0, traceTid(), 0.0});
+}
+
+void
+Tracer::record(TraceEvent event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    events_.push_back(std::move(event));
+}
+
+std::size_t
+Tracer::eventCount() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return events_.size();
+}
+
+void
+Tracer::writeJson(std::ostream& os) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    os << "{\"traceEvents\": [\n";
+    // Process-name metadata so Perfetto shows a labelled track group.
+    os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "
+          "\"tid\": 0, \"ts\": 0, \"args\": {\"name\": \"bayes\"}}";
+    for (const auto& e : events_) {
+        os << ",\n  {\"name\": \"";
+        jsonEscape(os, e.name);
+        os << "\", \"cat\": \"bayes\", \"ph\": \"" << e.phase
+           << "\", \"pid\": 1, \"tid\": " << e.tid << ", \"ts\": ";
+        os << (std::isfinite(e.tsUs) ? e.tsUs : 0.0);
+        if (e.phase == 'X')
+            os << ", \"dur\": " << (std::isfinite(e.durUs) ? e.durUs : 0.0);
+        if (e.phase == 'C') {
+            os << ", \"args\": {\"value\": "
+               << (std::isfinite(e.value) ? e.value : 0.0) << "}";
+        } else {
+            os << ", \"args\": {}";
+        }
+        os << "}";
+    }
+    os << "\n], \"displayTimeUnit\": \"ms\"}\n";
+}
+
+std::string
+Tracer::json() const
+{
+    std::ostringstream os;
+    writeJson(os);
+    return os.str();
+}
+
+void
+Span::finish() noexcept
+{
+    Tracer& tracer = Tracer::global();
+    const double endUs = tracer.nowUs();
+    try {
+        tracer.record(TraceEvent{owned_.empty() ? std::string(name_)
+                                                : std::move(owned_),
+                                 'X', startUs_,
+                                 endUs > startUs_ ? endUs - startUs_ : 0.0,
+                                 traceTid(), 0.0});
+    } catch (...) {
+        // Allocation failure while tracing must not take the run down.
+    }
+}
+
+} // namespace bayes::obs

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Scoped-span tracer emitting Chrome `trace_event` JSON, loadable in
+ * `chrome://tracing` and https://ui.perfetto.dev. The runtime drops
+ * `Span` objects around its phases (run → warmup → round → monitor →
+ * R-hat check, pool tasks, DSE grid points); while a collection is
+ * active every span becomes a complete ("ph":"X") event on its thread's
+ * track, and counter probes ("ph":"C", e.g. the R-hat trajectory)
+ * become counter tracks.
+ *
+ * The null-sink rule: spans are recorded only between `Tracer::start()`
+ * and `Tracer::stop()`. Outside a collection a span construction is a
+ * single relaxed atomic load — the instrumentation can stay in the hot
+ * path permanently. Compiling with `-DBAYES_OBS=OFF` removes even
+ * that load.
+ *
+ * Collection is coordinator-driven: call `stop()` (or just quiesce the
+ * workload) before `writeJson`. Recording is mutex-serialized at span
+ * *end* only, so worker threads never contend on span entry.
+ */
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/registry.hpp" // BAYES_OBS_ENABLED / kCompiledIn
+
+namespace bayes::obs {
+
+/** One trace_event record. */
+struct TraceEvent
+{
+    std::string name;
+    char phase = 'X'; ///< 'X' complete, 'C' counter, 'i' instant
+    double tsUs = 0;  ///< microseconds since Tracer::start()
+    double durUs = 0; ///< complete events only
+    int tid = 0;
+    double value = 0; ///< counter events only
+};
+
+/** Small dense per-thread track id for trace events (1-based). */
+int traceTid() noexcept;
+
+/** Process-wide trace collector. */
+class Tracer
+{
+  public:
+    /** The process-wide tracer (leaked singleton — safe at exit). */
+    static Tracer& global() noexcept;
+
+    /** Clear any previous events and begin collecting. */
+    void start();
+
+    /** Stop collecting (already-recorded events are kept). */
+    void stop();
+
+    /** True while a collection is active (one relaxed load). */
+    bool
+    active() const noexcept
+    {
+        if constexpr (kCompiledIn)
+            return active_.load(std::memory_order_relaxed);
+        else
+            return false;
+    }
+
+    /** Microseconds since start() on the tracer's own clock. */
+    double nowUs() const noexcept;
+
+    /** Record a counter sample (no-op unless active). */
+    void counter(const std::string& name, double value);
+
+    /** Record an instant event (no-op unless active). */
+    void instant(const std::string& name);
+
+    /** Append a finished event (used by Span; callable directly). */
+    void record(TraceEvent event);
+
+    /** Events collected so far. */
+    std::size_t eventCount() const;
+
+    /**
+     * Serialize as `{"traceEvents":[...]}` JSON. Call after stop() (or
+     * with the workload quiesced); events recorded concurrently with
+     * the write are serialized by the same mutex but may be split
+     * across the output boundary.
+     */
+    void writeJson(std::ostream& os) const;
+    std::string json() const;
+
+    Tracer() = default;
+    Tracer(const Tracer&) = delete;
+    Tracer& operator=(const Tracer&) = delete;
+
+  private:
+    std::atomic<bool> active_{false};
+    std::chrono::steady_clock::time_point epoch_{};
+    mutable std::mutex mutex_;
+    std::vector<TraceEvent> events_;
+};
+
+/**
+ * RAII span: records a complete trace event for its scope when a
+ * collection is active at construction time. Construction cost when
+ * idle: one relaxed atomic load.
+ */
+class Span
+{
+  public:
+    /** @p name must outlive the span (string literals qualify). */
+    explicit Span(const char* name) noexcept
+    {
+        if constexpr (kCompiledIn) {
+            if (Tracer::global().active()) {
+                name_ = name;
+                startUs_ = Tracer::global().nowUs();
+                live_ = true;
+            }
+        }
+    }
+
+    /** Dynamic-name span for cold call sites (e.g. DSE grid labels). */
+    explicit Span(std::string name)
+    {
+        if constexpr (kCompiledIn) {
+            if (Tracer::global().active()) {
+                owned_ = std::move(name);
+                name_ = owned_.c_str();
+                startUs_ = Tracer::global().nowUs();
+                live_ = true;
+            }
+        }
+    }
+
+    ~Span()
+    {
+        if constexpr (kCompiledIn) {
+            if (live_)
+                finish();
+        }
+    }
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+  private:
+    void finish() noexcept;
+
+    const char* name_ = nullptr;
+    std::string owned_;
+    double startUs_ = 0;
+    bool live_ = false;
+};
+
+} // namespace bayes::obs

@@ -6,6 +6,7 @@
 #include <sstream>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "samplers/dual_averaging.hpp"
 #include "samplers/hmc.hpp"
 #include "samplers/mh.hpp"
@@ -17,6 +18,27 @@
 
 namespace bayes::samplers {
 namespace {
+
+/** Run-level telemetry (catalogued in docs/observability.md). */
+struct RunnerMetrics
+{
+    obs::Counter& runs = obs::Registry::global().counter("sampler.runs");
+    obs::Counter& chains = obs::Registry::global().counter("sampler.chains");
+    obs::Counter& iterations =
+        obs::Registry::global().counter("sampler.iterations");
+    obs::Counter& gradEvals =
+        obs::Registry::global().counter("sampler.grad_evals");
+    obs::Counter& divergences =
+        obs::Registry::global().counter("sampler.divergences");
+    obs::Histogram& roundSeconds =
+        obs::Registry::global().histogram("sampler.round_seconds");
+
+    static RunnerMetrics& get()
+    {
+        static RunnerMetrics* m = new RunnerMetrics; // leaked, like Registry
+        return *m;
+    }
+};
 
 /** Everything one chain needs to advance independently. */
 class ChainState
@@ -180,15 +202,20 @@ class ChainState
 
 using States = std::vector<std::unique_ptr<ChainState>>;
 
-/** Finalize every chain and hand the results over. */
+/** Finalize every chain, roll its work into the metrics, hand over. */
 RunResult
 collect(States& states)
 {
+    RunnerMetrics& metrics = RunnerMetrics::get();
     RunResult out;
     out.chains.resize(states.size());
     for (std::size_t c = 0; c < states.size(); ++c) {
         states[c]->finish();
         out.chains[c] = std::move(states[c]->result);
+        metrics.chains.add();
+        metrics.iterations.add(out.chains[c].iterStats.size());
+        metrics.gradEvals.add(out.chains[c].totalGradEvals);
+        metrics.divergences.add(out.chains[c].divergences);
     }
     return out;
 }
@@ -203,6 +230,7 @@ askMonitor(const IterationMonitor& monitor, int round, States& states,
            std::vector<ChainResult>& view,
            std::vector<std::uint64_t>& gradEvals, const Timer& wall)
 {
+    obs::Span span("sampler.monitor");
     for (std::size_t c = 0; c < states.size(); ++c) {
         view[c] = std::move(states[c]->result);
         gradEvals[c] = states[c]->gradEvals();
@@ -219,18 +247,27 @@ RunResult
 runSequential(States& states, int warmup, int sampling,
               const IterationMonitor& monitor, const Timer& wall)
 {
-    for (int t = 0; t < warmup; ++t)
-        for (auto& chain : states)
-            chain->warmupIteration(t);
+    {
+        obs::Span span("sampler.warmup");
+        for (int t = 0; t < warmup; ++t)
+            for (auto& chain : states)
+                chain->warmupIteration(t);
+    }
 
     std::vector<ChainResult> view(states.size());
     std::vector<std::uint64_t> gradEvals(states.size());
     for (int t = 0; t < sampling; ++t) {
-        for (auto& chain : states)
-            chain->sampleIteration();
-        if (monitor
-            && askMonitor(monitor, t + 1, states, view, gradEvals, wall)
-                == MonitorAction::Stop)
+        Timer round;
+        {
+            obs::Span span("sampler.round");
+            for (auto& chain : states)
+                chain->sampleIteration();
+        }
+        if (!monitor)
+            continue;
+        RunnerMetrics::get().roundSeconds.observe(round.seconds());
+        if (askMonitor(monitor, t + 1, states, view, gradEvals, wall)
+            == MonitorAction::Stop)
             break;
     }
     return collect(states);
@@ -245,8 +282,12 @@ runFreeRunning(support::ThreadPool& pool, States& states, int warmup,
     futures.reserve(states.size());
     for (auto& chain : states) {
         futures.push_back(pool.submit([&chain, warmup, sampling] {
-            for (int t = 0; t < warmup; ++t)
-                chain->warmupIteration(t);
+            {
+                obs::Span span("chain.warmup");
+                for (int t = 0; t < warmup; ++t)
+                    chain->warmupIteration(t);
+            }
+            obs::Span span("chain.sample");
             for (int t = 0; t < sampling; ++t)
                 chain->sampleIteration();
         }));
@@ -268,21 +309,32 @@ runPhased(support::ThreadPool& pool, States& states, int warmup,
 {
     std::vector<std::future<void>> futures;
     futures.reserve(states.size());
-    for (auto& chain : states) {
-        futures.push_back(pool.submit([&chain, warmup] {
-            for (int t = 0; t < warmup; ++t)
-                chain->warmupIteration(t);
-        }));
+    {
+        obs::Span span("sampler.warmup");
+        for (auto& chain : states) {
+            futures.push_back(pool.submit([&chain, warmup] {
+                obs::Span chainSpan("chain.warmup");
+                for (int t = 0; t < warmup; ++t)
+                    chain->warmupIteration(t);
+            }));
+        }
+        support::waitAll(futures);
     }
-    support::waitAll(futures);
 
     std::vector<ChainResult> view(states.size());
     std::vector<std::uint64_t> gradEvals(states.size());
     for (int t = 0; t < sampling; ++t) {
-        for (auto& chain : states)
-            futures.push_back(
-                pool.submit([&chain] { chain->sampleIteration(); }));
-        support::waitAll(futures); // the barrier
+        Timer round;
+        {
+            obs::Span span("sampler.round");
+            for (auto& chain : states)
+                futures.push_back(pool.submit([&chain] {
+                    obs::Span chainSpan("chain.round");
+                    chain->sampleIteration();
+                }));
+            support::waitAll(futures); // the barrier
+        }
+        RunnerMetrics::get().roundSeconds.observe(round.seconds());
         if (askMonitor(monitor, t + 1, states, view, gradEvals, wall)
             == MonitorAction::Stop)
             break;
@@ -328,6 +380,8 @@ run(const ppl::Model& model, const Config& config,
                 "pool worker count must be >= 0, got "
                     << config.execution.workers);
 
+    obs::Span runSpan("sampler.run");
+    RunnerMetrics::get().runs.add();
     const Timer wall;
     Rng master(config.seed);
     States states;

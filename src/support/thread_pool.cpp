@@ -1,18 +1,52 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
 #include <memory>
 #include <utility>
 
+#include "obs/obs.hpp"
 #include "support/error.hpp"
 
 namespace bayes::support {
+namespace {
+
+/** Pool telemetry (catalogued in docs/observability.md). */
+struct PoolMetrics
+{
+    obs::Counter& tasksSubmitted =
+        obs::Registry::global().counter("pool.tasks_submitted");
+    obs::Gauge& workers = obs::Registry::global().gauge("pool.workers");
+    obs::Histogram& queueDepth =
+        obs::Registry::global().histogram("pool.queue_depth");
+    obs::Histogram& taskSeconds =
+        obs::Registry::global().histogram("pool.task_seconds");
+    obs::Histogram& idleSeconds =
+        obs::Registry::global().histogram("pool.worker_idle_seconds");
+
+    static PoolMetrics& get()
+    {
+        static PoolMetrics* m = new PoolMetrics; // leaked like the registry
+        return *m;
+    }
+};
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0) noexcept
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now()
+                                         - t0)
+        .count();
+}
+
+} // namespace
 
 ThreadPool::ThreadPool(int workers)
 {
     BAYES_CHECK(workers >= 1, "thread pool needs at least one worker, got "
                                   << workers);
+    PoolMetrics::get().workers.set(workers);
     workers_.reserve(static_cast<std::size_t>(workers));
     for (int i = 0; i < workers; ++i)
         workers_.emplace_back([this] { workerLoop(); });
@@ -48,29 +82,42 @@ ThreadPool::submit(std::function<void()> task)
             promise->set_exception(std::current_exception());
         }
     };
+    std::size_t depth;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         BAYES_CHECK(!stopping_, "submit on a stopping thread pool");
         queue_.push_back(std::move(wrapped));
+        depth = queue_.size();
     }
     cv_.notify_one();
+    PoolMetrics::get().tasksSubmitted.add();
+    PoolMetrics::get().queueDepth.observe(static_cast<double>(depth));
     return future;
 }
 
 void
 ThreadPool::workerLoop()
 {
+    PoolMetrics& metrics = PoolMetrics::get();
     for (;;) {
         std::function<void()> task;
         {
+            const auto idleFrom = std::chrono::steady_clock::now();
             std::unique_lock<std::mutex> lock(mutex_);
             cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-            if (queue_.empty())
-                return; // stopping and drained
+            if (queue_.empty()) {
+                return; // stopping and drained; final wait is not idle
+            }
+            metrics.idleSeconds.observe(secondsSince(idleFrom));
             task = std::move(queue_.front());
             queue_.pop_front();
         }
-        task(); // exceptions land in the task's future
+        {
+            obs::Span span("pool.task");
+            const auto taskFrom = std::chrono::steady_clock::now();
+            task(); // exceptions land in the task's future
+            metrics.taskSeconds.observe(secondsSince(taskFrom));
+        }
     }
 }
 

@@ -11,6 +11,11 @@
  * codebase therefore happens on the coordinating (submitting) thread:
  * the phased runner and the DSE driver submit, then wait from outside
  * the pool.
+ *
+ * Pool activity is exported through the obs layer — `pool.*` counters
+ * and histograms (queue depth at submit, per-task latency, worker idle
+ * time) plus a `pool.task` trace span per executed task; the catalogue
+ * lives in docs/observability.md.
  */
 #pragma once
 

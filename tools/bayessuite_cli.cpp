@@ -11,15 +11,18 @@
  *       [--chains N] [--iterations N] [--seed S] [--scale F]
  *       [--execution seq|threads|pool[:N]] [--elide]
  *       [--simulate skylake|broadwell] [--cores N] [--dump draws.csv]
+ *       [--metrics-out FILE.json] [--trace-out FILE.json]
  */
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 #include <string>
 
 #include "archsim/system.hpp"
 #include "diagnostics/summary.hpp"
 #include "elide/elision.hpp"
 #include "io/csv.hpp"
+#include "obs/obs.hpp"
 #include "samplers/advi.hpp"
 #include "samplers/runner.hpp"
 #include "support/timer.hpp"
@@ -39,6 +42,8 @@ struct CliOptions
     std::string simulate; // "", "skylake", "broadwell"
     int cores = 4;
     std::string dumpPath;
+    std::string metricsOutPath;
+    std::string traceOutPath;
     bool iterationsSet = false;
     bool chainsSet = false;
 };
@@ -59,7 +64,13 @@ usage()
         "  --elide                        runtime convergence detection\n"
         "  --simulate skylake|broadwell   architecture simulation\n"
         "  --cores N                      simulated cores (default: 4)\n"
-        "  --dump FILE                    write draws as CSV\n");
+        "  --dump FILE                    write draws as CSV\n"
+        "  --metrics-out FILE             write the obs metrics snapshot "
+        "as JSON\n"
+        "  --trace-out FILE               record a Chrome trace_event "
+        "JSON trace\n"
+        "                                 (open in chrome://tracing or "
+        "Perfetto)\n");
 }
 
 bool
@@ -133,6 +144,10 @@ parse(int argc, char** argv, CliOptions& opt)
             opt.cores = std::stoi(next());
         } else if (arg == "--dump") {
             opt.dumpPath = next();
+        } else if (arg == "--metrics-out") {
+            opt.metricsOutPath = next();
+        } else if (arg == "--trace-out") {
+            opt.traceOutPath = next();
         } else {
             std::fprintf(stderr, "unknown option '%s'\n", arg.c_str());
             return false;
@@ -161,6 +176,58 @@ simulate(const workloads::Workload& wl, const samplers::RunResult& run,
                 sim.powerW, sim.energyJ);
 }
 
+/**
+ * The --metrics-out / --trace-out exporters. Construction starts the
+ * trace collection (when requested) so every phase of the invocation —
+ * sampling, elision, profiling for --simulate — lands on the timeline;
+ * write() flushes both files exactly once.
+ */
+class ObsExports
+{
+  public:
+    explicit ObsExports(const CliOptions& opt) : opt_(opt)
+    {
+        if ((!opt.traceOutPath.empty() || !opt.metricsOutPath.empty())
+            && !obs::kCompiledIn)
+            std::fprintf(stderr,
+                         "warning: built with BAYES_OBS=OFF — metrics and "
+                         "traces will be empty\n");
+        if (!opt.traceOutPath.empty())
+            obs::Tracer::global().start();
+    }
+
+    void
+    write()
+    {
+        if (written_)
+            return;
+        written_ = true;
+        if (!opt_.traceOutPath.empty()) {
+            obs::Tracer::global().stop();
+            std::ofstream os(opt_.traceOutPath);
+            BAYES_CHECK(os, "cannot write trace file '" << opt_.traceOutPath
+                                                        << "'");
+            obs::Tracer::global().writeJson(os);
+            std::printf("trace written to %s (%zu events; open in "
+                        "chrome://tracing or ui.perfetto.dev)\n",
+                        opt_.traceOutPath.c_str(),
+                        obs::Tracer::global().eventCount());
+        }
+        if (!opt_.metricsOutPath.empty()) {
+            std::ofstream os(opt_.metricsOutPath);
+            BAYES_CHECK(os, "cannot write metrics file '"
+                                << opt_.metricsOutPath << "'");
+            obs::Registry::global().snapshot().writeJson(os);
+            std::printf("metrics snapshot written to %s\n",
+                        opt_.metricsOutPath.c_str());
+        }
+    }
+
+  private:
+    const CliOptions& opt_;
+    bool written_ = false;
+};
+
 } // namespace
 
 int
@@ -172,6 +239,7 @@ main(int argc, char** argv)
             usage();
             return 2;
         }
+        ObsExports exports(opt);
         const auto wl = workloads::makeWorkload(opt.workload,
                                                 opt.dataScale);
         if (!opt.iterationsSet)
@@ -200,6 +268,7 @@ main(int argc, char** argv)
                 std::printf("  %-16s mean %.4f\n",
                             wl->layout().coordName(i).c_str(), mean);
             }
+            exports.write();
             return 0;
         }
 
@@ -232,6 +301,7 @@ main(int argc, char** argv)
         }
         if (!opt.simulate.empty())
             simulate(*wl, run, opt.simulate, opt.config.chains, opt.cores);
+        exports.write();
         return 0;
     } catch (const Error& e) {
         std::fprintf(stderr, "error: %s\n", e.what());

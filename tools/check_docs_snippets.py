@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Compile every fenced C++ block in docs/*.md.
+
+Registered as the `docs` ctest label: extracts ```cpp fences, wraps
+statement-scope blocks in a function body, prepends a prelude that
+provides the repo headers plus a few ambient objects (`model`, `cfg`)
+that reference-style snippets lean on, and runs the project compiler
+with -fsyntax-only on each block as its own translation unit. A block
+that fails reports its file and line so the doc can be fixed like any
+other compile error.
+
+Usage:
+  check_docs_snippets.py --compiler g++ --include src [--std c++20] DOCS_DIR
+"""
+
+import argparse
+import re
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+PRELUDE = """\
+// Auto-generated prelude for docs snippet compilation.
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "archsim/system.hpp"
+#include "diagnostics/convergence.hpp"
+#include "diagnostics/summary.hpp"
+#include "elide/elision.hpp"
+#include "io/csv.hpp"
+#include "math/distributions.hpp"
+#include "obs/obs.hpp"
+#include "samplers/advi.hpp"
+#include "samplers/runner.hpp"
+#include "support/table.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+#include "workloads/workload.hpp"
+
+using namespace bayes;
+using namespace bayes::math;
+
+// Ambient objects snippets may reference without declaring.
+extern ppl::Model& model;
+extern workloads::Workload& workload;
+"""
+
+# A block containing any of these at a line start is file-scope C++ and
+# compiles as-is; everything else is a statement sequence and gets
+# wrapped in a function body.
+FILE_SCOPE = re.compile(
+    r"^\s*(#include\b|template\b|class\s|struct\s|namespace\s|int main\b)")
+
+FENCE_OPEN = re.compile(r"^```(cpp|c\+\+)\s*$")
+FENCE_CLOSE = re.compile(r"^```\s*$")
+
+
+def extract_blocks(md_path):
+    """Yield (start_line, code) for each ```cpp fence in the file."""
+    blocks = []
+    lines = md_path.read_text(encoding="utf-8").splitlines()
+    in_block, start, buf = False, 0, []
+    for i, line in enumerate(lines, 1):
+        if not in_block and FENCE_OPEN.match(line):
+            in_block, start, buf = True, i + 1, []
+        elif in_block and FENCE_CLOSE.match(line):
+            in_block = False
+            blocks.append((start, "\n".join(buf)))
+        elif in_block:
+            buf.append(line)
+    if in_block:
+        raise SystemExit(f"{md_path}: unterminated ```cpp fence at "
+                         f"line {start - 1}")
+    return blocks
+
+
+def wrap(code, index):
+    if any(FILE_SCOPE.match(line) for line in code.splitlines()):
+        return code + "\n"
+    return (f"void docs_snippet_{index}()\n{{\n" + code + "\n}\n")
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("--compiler", required=True)
+    ap.add_argument("--include", required=True,
+                    help="the repo's src/ directory")
+    ap.add_argument("--std", default="c++20")
+    ap.add_argument("docs_dir", type=Path)
+    args = ap.parse_args()
+
+    md_files = sorted(args.docs_dir.glob("*.md"))
+    if not md_files:
+        raise SystemExit(f"no .md files under {args.docs_dir}")
+
+    checked = failures = 0
+    with tempfile.TemporaryDirectory() as tmp:
+        for md in md_files:
+            for index, (line, code) in enumerate(extract_blocks(md)):
+                checked += 1
+                src = Path(tmp) / f"{md.stem}_{index}.cpp"
+                src.write_text(PRELUDE + wrap(code, index),
+                               encoding="utf-8")
+                cmd = [args.compiler, f"-std={args.std}",
+                       "-fsyntax-only", "-I", args.include, str(src)]
+                proc = subprocess.run(cmd, capture_output=True, text=True)
+                if proc.returncode != 0:
+                    failures += 1
+                    print(f"FAIL {md}:{line} (snippet {index})")
+                    print(proc.stderr)
+                else:
+                    print(f"ok   {md}:{line} (snippet {index})")
+
+    print(f"{checked} snippet(s) checked, {failures} failure(s)")
+    if checked == 0:
+        print("error: no ```cpp blocks found — extraction is broken")
+        return 1
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
