@@ -90,7 +90,8 @@ recentWindow(const samplers::RunResult& run, std::size_t i,
     for (const auto& chain : run.chains) {
         const std::size_t n = chain.draws.size();
         const std::size_t keep = std::max<std::size_t>(
-            4, static_cast<std::size_t>(keepFraction * n));
+            4, static_cast<std::size_t>(keepFraction
+                                        * static_cast<double>(n)));
         const std::size_t start = n > keep ? n - keep : 0;
         std::vector<double> xs;
         xs.reserve(n - start);

@@ -196,7 +196,7 @@ explore(const workloads::Workload& workload,
     };
 
     auto evaluate = [&](const samplers::RunResult& run, int chains,
-                        int cores, int iterations, bool elided,
+                        int cores, int iterations, bool usedElision,
                         std::string label) {
         const auto work = archsim::extractRunWork(run);
         const auto sim = archsim::simulateSystem(profileFor(chains), work,
@@ -206,7 +206,7 @@ explore(const workloads::Workload& workload,
         p.cores = cores;
         p.chains = chains;
         p.iterations = iterations;
-        p.elided = elided;
+        p.elided = usedElision;
         p.seconds = sim.seconds;
         p.energyJ = sim.energyJ;
         p.kl = diagnostics::gaussianKl(pooledByCoordinate(run), groundTruth);

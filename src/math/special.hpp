@@ -98,10 +98,17 @@ double stdNormalQuantile(double p);
  * Thread-safe log Gamma. glibc's lgamma writes the global `signgam`,
  * a data race once parallel chains evaluate densities concurrently;
  * the re-entrant lgamma_r keeps the sign in a local instead.
+ *
+ * Gamma has poles at 0, -1, -2, ...; |Gamma| -> inf there, so log|Gamma|
+ * is +inf. We answer the poles directly instead of evaluating libm at
+ * them, which keeps the result deterministic across libms and avoids
+ * raising FE_DIVBYZERO mid-sample. NaN propagates.
  */
 inline double
 lgammaSafe(double x)
 {
+    if (x <= 0.0 && x == std::floor(x))
+        return INFINITY; // pole (covers -0.0 as well)
 #if defined(__GLIBC__)
     int sign = 0;
     return ::lgamma_r(x, &sign);
@@ -117,10 +124,21 @@ lbeta(double a, double b)
     return lgammaSafe(a) + lgammaSafe(b) - lgammaSafe(a + b);
 }
 
-/** log of the binomial coefficient C(n, k). */
+/**
+ * log of the binomial coefficient C(n, k).
+ *
+ * Outside the support (k < 0 or k > n) the coefficient is 0, so the log
+ * is -inf — returned explicitly rather than left to pole arithmetic,
+ * where lgamma(n - k + 1) at a nonpositive integer would otherwise
+ * produce inf - inf = NaN. NaN arguments propagate.
+ */
 inline double
 lchoose(double n, double k)
 {
+    if (std::isnan(n) || std::isnan(k))
+        return NAN;
+    if (k < 0.0 || k > n)
+        return -INFINITY;
     return lgammaSafe(n + 1.0) - lgammaSafe(k + 1.0)
         - lgammaSafe(n - k + 1.0);
 }

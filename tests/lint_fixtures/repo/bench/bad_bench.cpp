@@ -1,0 +1,14 @@
+// Fixture: outside src/math/ even unqualified gamma calls are raw (they
+// bind to the libc global-namespace symbols), and bench code must use
+// the shared pool like everyone else.
+#include <cmath>
+#include <thread>
+
+namespace fixture {
+double unqualified(double x) { return lgamma(x); }  // EXPECT: R002
+void bench()
+{
+    std::thread t([] {});  // EXPECT: R001
+    t.join();
+}
+}  // namespace fixture

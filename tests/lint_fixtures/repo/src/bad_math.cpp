@@ -1,0 +1,15 @@
+// Fixture: R002 — raw gamma-family calls outside src/math/special.hpp.
+#include <cmath>
+
+namespace fixture {
+double a(double x) { return std::lgamma(x); }   // EXPECT: R002
+double b(double x) { return tgamma(x); }        // EXPECT: R002
+double c(double x)
+{
+    int sign = 0;
+    return lgamma_r(x, &sign);                  // EXPECT: R002
+}
+double d(double x) { return lgammaf((float)x); }  // EXPECT: R002
+// std::lgamma in a comment is not a finding.
+const char* e() { return "std::lgamma( in a string is not a finding"; }
+}  // namespace fixture

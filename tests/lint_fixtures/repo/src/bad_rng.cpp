@@ -1,0 +1,23 @@
+// Fixture: R003 — unmanaged randomness outside src/support/rng.hpp.
+#include <cstdlib>
+#include <random>
+
+namespace fixture {
+unsigned seedFromHardware()
+{
+    std::random_device rd;  // EXPECT: R003
+    return rd();
+}
+int libcRand()
+{
+    srand(7);               // EXPECT: R003
+    return rand();          // EXPECT: R003
+}
+double twister()
+{
+    std::mt19937 gen(99);   // EXPECT: R003
+    std::mt19937_64 waived(1);  // bayes-lint: allow(R003): fixture: seeded and isolated
+    return (double)(gen() + waived());
+}
+int notRandom(int operand) { return operand; }  // 'rand' substring: no finding
+}  // namespace fixture

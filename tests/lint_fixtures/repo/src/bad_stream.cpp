@@ -1,0 +1,8 @@
+// Fixture: R005 — iostream in library code.
+#include <iostream>  // EXPECT: R005
+// #include <iostream> in a comment is not a finding.
+#include <ostream>
+
+namespace fixture {
+void print(std::ostream& os) { os << "ok"; }  // taking a stream& is fine
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Fixture: R001 violations, waivers, and the hardware_concurrency carve-out.
+#include <thread>
+
+namespace fixture {
+void spawn()
+{
+    std::thread t([] {});  // EXPECT: R001
+    t.join();
+    std::thread waived([] {});  // bayes-lint: allow(R001): fixture shows a justified waiver
+    waived.join();
+    // bayes-lint: allow(R001): full-line waiver covers the next line
+    std::thread alsoWaived([] {});
+    alsoWaived.join();
+    std::thread noReason([] {});  // bayes-lint: allow(R001) // EXPECT: R000 R001
+    noReason.join();
+    (void)std::thread::hardware_concurrency();  // query only: no finding
+}
+}  // namespace fixture

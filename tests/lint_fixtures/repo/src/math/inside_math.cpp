@@ -1,0 +1,9 @@
+// Fixture: inside src/math/ the unqualified names bind to the safe
+// wrappers, so only explicitly qualified raw calls are findings.
+#include "math/special.hpp"
+
+namespace fixture {
+double ok(double x) { return lgamma(x); }          // binds to math wrapper
+double bad(double x) { return std::tgamma(x); }    // EXPECT: R002
+double worse(double x) { return ::lgamma(x); }     // EXPECT: R002
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: the one place R002 permits the raw lgamma family.
+#pragma once
+#include <cmath>
+
+namespace fixture {
+inline double lgammaSafe(double x)
+{
+    int sign = 0;
+    return ::lgamma_r(x, &sign);  // allowed: this wrapper IS the rule's point
+}
+inline double alsoAllowed(double x) { return std::lgamma(x); }
+}  // namespace fixture

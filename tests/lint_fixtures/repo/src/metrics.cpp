@@ -1,0 +1,12 @@
+// Fixture: R004 — metric literals must match the doc catalogue both ways.
+#include "obs/registry.hpp"
+
+namespace fixture {
+void emit(Registry& registry)
+{
+    registry.counter("fixture.known").add(1);
+    registry.gauge("fixture.gauge").set(2.0);
+    registry.counter("fixture.rogue").add(1);  // EXPECT: R004
+    registry.histogram("fixture.waived").record(1.0);  // bayes-lint: allow(R004): fixture: internal-only metric
+}
+}  // namespace fixture

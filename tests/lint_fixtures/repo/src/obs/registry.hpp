@@ -1,0 +1,14 @@
+// Fixture: src/obs/ is the mechanism, not an emitter — R004 skips it.
+#pragma once
+
+namespace fixture {
+struct Counter { void add(long) {} };
+struct Gauge { void set(double) {} };
+struct Histogram { void record(double) {} };
+struct Registry {
+    Counter& counter(const char*);
+    Gauge& gauge(const char*);
+    Histogram& histogram(const char*);
+    void selfUse() { counter("obs.not_catalogued").add(1); }  // skipped
+};
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: the one place R003 permits std <random> machinery.
+// We ship xoshiro instead of std::mt19937 (comment mention: no finding).
+#pragma once
+#include <random>
+
+namespace fixture {
+struct Rng {
+    std::mt19937_64 engine{42};  // allowed inside src/support/rng.hpp
+};
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: the one place R001 permits std::thread.
+#pragma once
+#include <thread>
+#include <vector>
+
+namespace fixture {
+struct ThreadPool {
+    std::vector<std::thread> workers;  // allowed: this IS the pool
+};
+}  // namespace fixture

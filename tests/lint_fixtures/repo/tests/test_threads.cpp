@@ -1,0 +1,14 @@
+// Fixture: tests/ is exempt from R001 and R003 — test code may spin raw
+// threads to attack the pool and use ad-hoc seeds.
+#include <random>
+#include <thread>
+
+namespace fixture {
+void attack()
+{
+    std::thread t([] {});  // no finding: tests are exempt from R001
+    t.join();
+    std::mt19937 gen(1);   // no finding: tests are exempt from R003
+    (void)gen();
+}
+}  // namespace fixture

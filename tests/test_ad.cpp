@@ -90,7 +90,7 @@ INSTANTIATE_TEST_SUITE_P(
                       return exp(x) * log(x + 3.0) - square(x) / (x + 5.0);
                   },
                   1.2}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& paramInfo) { return paramInfo.param.name; });
 
 TEST(Ad, BinaryOperatorGradients)
 {

@@ -84,9 +84,9 @@ INSTANTIATE_TEST_SUITE_P(
                       std::make_tuple(32768ull, 8u),
                       std::make_tuple(1048576ull, 16u),
                       std::make_tuple(5242880ull, 20u)), // Broadwell LLC
-    [](const auto& info) {
-        return "s" + std::to_string(std::get<0>(info.param)) + "w"
-            + std::to_string(std::get<1>(info.param));
+    [](const auto& paramInfo) {
+        return "s" + std::to_string(std::get<0>(paramInfo.param)) + "w"
+            + std::to_string(std::get<1>(paramInfo.param));
     });
 
 } // namespace

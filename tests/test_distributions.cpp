@@ -129,6 +129,17 @@ TEST(Distributions, BinomialLogitAgrees)
                 binomial_lpmf(4, 10, 0.3), 1e-10);
 }
 
+TEST(Distributions, BinomialOutsideSupportIsMinusInf)
+{
+    // k > n and k < 0 have probability 0; the lpmf must be exactly
+    // -inf (via lchoose's support check), not NaN from pole arithmetic.
+    EXPECT_EQ(binomial_lpmf(13, 12, 0.37), -INFINITY);
+    EXPECT_EQ(binomial_lpmf(-1, 12, 0.37), -INFINITY);
+    EXPECT_EQ(binomial_logit_lpmf(13, 12, 0.2), -INFINITY);
+    EXPECT_TRUE(std::isfinite(binomial_lpmf(12, 12, 0.37)));
+    EXPECT_TRUE(std::isfinite(binomial_lpmf(0, 12, 0.37)));
+}
+
 TEST(Distributions, NegBinomial2MassSumsToOne)
 {
     const double mu = 4.0, phi = 2.5;
@@ -227,7 +238,7 @@ INSTANTIATE_TEST_SUITE_P(
                      return neg_binomial_2_lpmf(5, 4.0, f);
                  },
                  3.0}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& paramInfo) { return paramInfo.param.name; });
 
 TEST(Distributions, LogSumExpTemplateAgreesWithScalar)
 {

@@ -95,8 +95,8 @@ TEST(Subsampling, ShrinksWorkingSetAndModeledData)
     Rng rng2(5);
     const auto qh = samplers::findInitialPoint(evalHalf, rng2);
     evalHalf.logProbGrad(qh, grad);
-    EXPECT_LT(evalHalf.lastTapeNodes(),
-              0.7 * evalFull.lastTapeNodes());
+    EXPECT_LT(static_cast<double>(evalHalf.lastTapeNodes()),
+              0.7 * static_cast<double>(evalFull.lastTapeNodes()));
 }
 
 TEST(Subsampling, ReweightingKeepsLikelihoodMagnitude)

@@ -50,7 +50,9 @@ TEST(Platform, LlcCapacityRatioPreserved)
     const auto sky = Platform::skylake();
     const auto bdw = Platform::broadwell();
     EXPECT_DOUBLE_EQ(
-        static_cast<double>(bdw.llc.sizeBytes) / sky.llc.sizeBytes, 5.0);
+        static_cast<double>(bdw.llc.sizeBytes)
+            / static_cast<double>(sky.llc.sizeBytes),
+        5.0);
 }
 
 TEST(Platform, CacheGeometriesAreConstructible)

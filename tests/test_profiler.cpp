@@ -67,7 +67,8 @@ TEST(Profiler, ChainsOccupyDisjointAddressRanges)
     lines1.erase(std::unique(lines1.begin(), lines1.end()), lines1.end());
     for (auto l : lines1)
         shared += std::binary_search(lines0.begin(), lines0.end(), l);
-    EXPECT_LT(static_cast<double>(shared), 0.2 * lines1.size());
+    EXPECT_LT(static_cast<double>(shared),
+              0.2 * static_cast<double>(lines1.size()));
     (void)lo0;
     (void)hi0;
     (void)lo1;

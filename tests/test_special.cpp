@@ -28,8 +28,9 @@ TEST(Special, DigammaIsDerivativeOfLgamma)
 {
     for (double x : {0.7, 2.5, 9.0}) {
         const double h = 1e-6;
-        const double numeric =
-            (std::lgamma(x + h) - std::lgamma(x - h)) / (2 * h);
+        // bayes-lint: allow(R002): single-threaded libm oracle cross-check
+        const double span = std::lgamma(x + h) - std::lgamma(x - h);
+        const double numeric = span / (2 * h);
         EXPECT_NEAR(digamma(x), numeric, 1e-6);
     }
 }
@@ -113,6 +114,41 @@ TEST(Special, LchooseMatchesSmallCases)
     EXPECT_NEAR(lchoose(5, 2), std::log(10.0), 1e-12);
     EXPECT_NEAR(lchoose(10, 0), 0.0, 1e-12);
     EXPECT_NEAR(lchoose(52, 5), std::log(2598960.0), 1e-9);
+}
+
+// Edge cases the ubsan ctest label guards: the poles and out-of-support
+// arguments must produce deterministic inf/-inf/NaN, never pole
+// arithmetic (inf - inf) or a libm FP exception mid-sample.
+
+TEST(Special, LgammaSafePolesAreDeterministicInf)
+{
+    EXPECT_TRUE(std::isinf(lgammaSafe(0.0)));
+    EXPECT_GT(lgammaSafe(0.0), 0.0);
+    EXPECT_TRUE(std::isinf(lgammaSafe(-0.0)));
+    EXPECT_TRUE(std::isinf(lgammaSafe(-1.0)));
+    EXPECT_TRUE(std::isinf(lgammaSafe(-42.0)));
+    // Non-pole points stay finite, including between the poles.
+    EXPECT_TRUE(std::isfinite(lgammaSafe(-0.5)));
+    EXPECT_TRUE(std::isfinite(lgammaSafe(-41.5)));
+    EXPECT_NEAR(lgammaSafe(0.5), 0.5 * std::log(M_PI), 1e-12);
+    EXPECT_TRUE(std::isnan(lgammaSafe(NAN)));
+}
+
+TEST(Special, LchooseOutsideSupportIsMinusInf)
+{
+    EXPECT_EQ(lchoose(5.0, 6.0), -INFINITY);   // k > n
+    EXPECT_EQ(lchoose(5.0, -1.0), -INFINITY);  // k < 0
+    EXPECT_EQ(lchoose(0.0, 1.0), -INFINITY);
+    EXPECT_NEAR(lchoose(0.0, 0.0), 0.0, 1e-12); // C(0,0) = 1
+    EXPECT_TRUE(std::isnan(lchoose(NAN, 2.0)));
+    EXPECT_TRUE(std::isnan(lchoose(5.0, NAN)));
+}
+
+TEST(Special, LbetaAtZeroArgumentsIsInf)
+{
+    EXPECT_TRUE(std::isinf(lbeta(0.0, 1.0)));
+    EXPECT_TRUE(std::isinf(lbeta(1.0, 0.0)));
+    EXPECT_TRUE(std::isfinite(lbeta(1e-8, 1e-8)));
 }
 
 } // namespace

@@ -138,8 +138,8 @@ TEST_P(WorkloadTest, ShortChainRunsWithoutDivergenceStorm)
 
 INSTANTIATE_TEST_SUITE_P(Suite, WorkloadTest,
                          ::testing::ValuesIn(suiteNames()),
-                         [](const auto& info) {
-                             std::string n = info.param;
+                         [](const auto& paramInfo) {
+                             std::string n = paramInfo.param;
                              if (n == "12cities")
                                  n = "twelvecities";
                              return n;
