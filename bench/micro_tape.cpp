@@ -16,10 +16,12 @@ using namespace bayes;
 namespace {
 
 void
-BM_LogProbGrad(benchmark::State& state, const std::string& name)
+BM_LogProbGrad(benchmark::State& state, const std::string& name,
+               bool scalarLikelihood = false)
 {
     const auto wl = workloads::makeWorkload(name);
     ppl::Evaluator eval(*wl);
+    eval.setScalarLikelihood(scalarLikelihood);
     Rng rng(7);
     const auto q = samplers::findInitialPoint(eval, rng);
     std::vector<double> grad;
@@ -28,6 +30,7 @@ BM_LogProbGrad(benchmark::State& state, const std::string& name)
     }
     state.counters["tape_nodes"] =
         static_cast<double>(eval.lastTapeNodes());
+    state.counters["tape_bytes"] = static_cast<double>(eval.tape().bytes());
     state.counters["nodes/s"] = benchmark::Counter(
         static_cast<double>(eval.lastTapeNodes()),
         benchmark::Counter::kIsIterationInvariantRate);
@@ -45,3 +48,17 @@ BENCHMARK_CAPTURE(BM_LogProbGrad, disease, std::string("disease"));
 BENCHMARK_CAPTURE(BM_LogProbGrad, racial, std::string("racial"));
 BENCHMARK_CAPTURE(BM_LogProbGrad, butterfly, std::string("butterfly"));
 BENCHMARK_CAPTURE(BM_LogProbGrad, survival, std::string("survival"));
+
+// Scalar reference path on the ported workloads: the tape_nodes /
+// tape_bytes counters against the fused rows above are the working-set
+// reduction this PR claims (compare e.g. `ad` to `ad_scalar`).
+BENCHMARK_CAPTURE(BM_LogProbGrad, twelvecities_scalar,
+                  std::string("12cities"), true);
+BENCHMARK_CAPTURE(BM_LogProbGrad, ad_scalar, std::string("ad"), true);
+BENCHMARK_CAPTURE(BM_LogProbGrad, votes_scalar, std::string("votes"), true);
+BENCHMARK_CAPTURE(BM_LogProbGrad, tickets_scalar, std::string("tickets"),
+                  true);
+BENCHMARK_CAPTURE(BM_LogProbGrad, disease_scalar, std::string("disease"),
+                  true);
+BENCHMARK_CAPTURE(BM_LogProbGrad, survival_scalar, std::string("survival"),
+                  true);

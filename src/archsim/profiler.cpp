@@ -10,7 +10,7 @@ namespace bayes::archsim {
 
 WorkloadProfile
 profileWorkload(const ppl::Model& model, int chains, int warmupIters,
-                std::uint64_t seed)
+                std::uint64_t seed, bool scalarLikelihood)
 {
     BAYES_CHECK(chains >= 1, "need at least one chain to profile");
     WorkloadProfile profile;
@@ -20,8 +20,10 @@ profileWorkload(const ppl::Model& model, int chains, int warmupIters,
     // chains would.
     std::vector<std::unique_ptr<ppl::Evaluator>> evals;
     evals.reserve(chains);
-    for (int c = 0; c < chains; ++c)
+    for (int c = 0; c < chains; ++c) {
         evals.push_back(std::make_unique<ppl::Evaluator>(model));
+        evals.back()->setScalarLikelihood(scalarLikelihood);
+    }
 
     Rng master(seed);
     for (int c = 0; c < chains; ++c) {

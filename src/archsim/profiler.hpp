@@ -44,9 +44,14 @@ struct WorkloadProfile
  * Profile @p model with @p chains instrumented chains.
  * @param warmupIters  adaptation iterations before capturing (enough to
  *                     reach a representative step size / position)
+ * @param scalarLikelihood  profile the reference per-observation scalar
+ *                     path (`Model::logProbScalar`) instead of the
+ *                     fused-kernel path — the implementation the paper
+ *                     characterizes as LLC-bound
  */
 WorkloadProfile profileWorkload(const ppl::Model& model, int chains,
                                 int warmupIters = 30,
-                                std::uint64_t seed = 20190331);
+                                std::uint64_t seed = 20190331,
+                                bool scalarLikelihood = false);
 
 } // namespace bayes::archsim

@@ -2,8 +2,26 @@
 
 #include <cmath>
 
+#include "obs/registry.hpp"
+
 namespace bayes::ppl {
 namespace {
+
+/** Per-eval tape footprint gauges (see docs/observability.md). */
+struct TapeMetrics
+{
+    obs::Gauge& nodesPerEval =
+        obs::Registry::global().gauge("tape.nodes_per_eval");
+    obs::Gauge& bytesPerEval =
+        obs::Registry::global().gauge("tape.bytes_per_eval");
+
+    static TapeMetrics&
+    get()
+    {
+        static TapeMetrics* m = new TapeMetrics; // leaked, like Registry
+        return *m;
+    }
+};
 
 /**
  * Constrain a flat unconstrained vector, returning the constrained
@@ -50,7 +68,9 @@ Evaluator::logProb(const std::vector<double>& q)
     const std::vector<double> x = constrainAll(*layout_, q, logJ);
     const ParamView<double> view(*layout_, x);
     try {
-        return model_->logProb(view) + logJ;
+        return (scalarLikelihood_ ? model_->logProbScalar(view)
+                                  : model_->logProb(view))
+            + logJ;
     } catch (const Error&) {
         // Numerically infeasible point (e.g. a covariance that lost
         // positive definiteness): treat as zero density.
@@ -65,6 +85,9 @@ Evaluator::logProbGrad(const std::vector<double>& q,
     BAYES_CHECK(q.size() == dim(), "point has wrong dimension");
     ++numGradEvals_;
     tape_.clear();
+    // Pre-size to the previous eval's footprint so the arenas do not
+    // re-grow (and memcpy) during the first iterations after a clear.
+    tape_.reserve(lastTapeNodes_, lastTapeEdges_);
 
     std::vector<ad::Var> u(dim());
     for (std::size_t i = 0; i < dim(); ++i)
@@ -76,20 +99,28 @@ Evaluator::logProbGrad(const std::vector<double>& q,
     streamDataShadow();
     ad::Var lp;
     try {
-        lp = model_->logProb(view) + logJ;
+        lp = (scalarLikelihood_ ? model_->logProbScalar(view)
+                                : model_->logProb(view))
+            + logJ;
     } catch (const Error&) {
         lp = ad::Var(-INFINITY); // infeasible point: reject
     }
     lastTapeNodes_ = tape_.size();
+    lastTapeEdges_ = tape_.edgeCount();
 
     if (!std::isfinite(lp.value())) {
         // Divergent/out-of-support point: gradient is meaningless but
         // must be well-formed for the sampler's rejection logic.
+        lastTapeBytes_ = tape_.bytes();
         grad.assign(dim(), 0.0);
         return lp.value();
     }
 
     tape_.gradient(lp.id(), adjoints_);
+    lastTapeBytes_ = tape_.bytes();
+    TapeMetrics& metrics = TapeMetrics::get();
+    metrics.nodesPerEval.set(static_cast<double>(lastTapeNodes_));
+    metrics.bytesPerEval.set(static_cast<double>(lastTapeBytes_));
     grad.resize(dim());
     // Leaves were pushed first, so their ids are 0..dim-1.
     for (std::size_t i = 0; i < dim(); ++i)

@@ -51,6 +51,16 @@ class Evaluator
     /** Map an unconstrained point to constrained parameter values. */
     std::vector<double> constrain(const std::vector<double>& q) const;
 
+    /**
+     * Route evaluations through the model's scalar-loop path
+     * (Model::logProbScalar) instead of the fused-kernel path. Used by
+     * tests and benchmarks to compare the two tapes; defaults to off.
+     */
+    void setScalarLikelihood(bool on) { scalarLikelihood_ = on; }
+
+    /** True when evaluations use the scalar-loop path. */
+    bool scalarLikelihood() const { return scalarLikelihood_; }
+
     /** AD tape (attach probes or inspect size here). */
     ad::Tape& tape() { return tape_; }
 
@@ -63,6 +73,12 @@ class Evaluator
     /** Tape nodes used by the most recent gradient evaluation. */
     std::size_t lastTapeNodes() const { return lastTapeNodes_; }
 
+    /** Wide-node edges used by the most recent gradient evaluation. */
+    std::size_t lastTapeEdges() const { return lastTapeEdges_; }
+
+    /** Tape bytes (nodes + edges + adjoints) of the last gradient eval. */
+    std::size_t lastTapeBytes() const { return lastTapeBytes_; }
+
   private:
     void streamDataShadow();
 
@@ -74,6 +90,9 @@ class Evaluator
     std::uint64_t numEvals_ = 0;
     std::uint64_t numGradEvals_ = 0;
     std::size_t lastTapeNodes_ = 0;
+    std::size_t lastTapeEdges_ = 0;
+    std::size_t lastTapeBytes_ = 0;
+    bool scalarLikelihood_ = false;
 };
 
 } // namespace bayes::ppl

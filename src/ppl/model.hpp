@@ -8,6 +8,7 @@
  */
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -94,6 +95,17 @@ class ParamView
         return (*values_)[layout_->offset(block) + i];
     }
 
+    /**
+     * Whole block as a contiguous span (no copy) — the form the fused
+     * math::*_vec kernels consume.
+     */
+    std::span<const T>
+    block(std::size_t b) const
+    {
+        return {values_->data() + layout_->offset(b),
+                layout_->block(b).size};
+    }
+
     /** Copy of a whole block as a vector. */
     std::vector<T>
     vec(std::size_t block) const
@@ -141,6 +153,26 @@ class Model
 
     /** Log joint density, gradient (taped) path. */
     virtual ad::Var logProb(const ParamView<ad::Var>& p) const = 0;
+
+    /**
+     * Scalar-loop (per-observation) log density. Workloads ported onto
+     * the fused math::*_vec kernels keep their original scalar body
+     * behind this entry point so tests and benchmarks can compare the
+     * two tapes; the default forwards to logProb for workloads with a
+     * single implementation.
+     */
+    virtual double
+    logProbScalar(const ParamView<double>& p) const
+    {
+        return logProb(p);
+    }
+
+    /** Scalar-loop log density, gradient (taped) path. */
+    virtual ad::Var
+    logProbScalar(const ParamView<ad::Var>& p) const
+    {
+        return logProb(p);
+    }
 
     /**
      * Bytes of observed data iterated per likelihood evaluation — the

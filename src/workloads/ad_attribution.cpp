@@ -1,8 +1,10 @@
 #include "workloads/ad_attribution.hpp"
 
 #include <cmath>
+#include <span>
 
 #include "math/distributions.hpp"
+#include "math/vec_kernels.hpp"
 
 namespace bayes::workloads {
 
@@ -58,7 +60,23 @@ AdAttribution::logDensity(const ppl::ParamView<T>& p) const
     const T& intercept = p.scalar(kIntercept);
 
     T lp = normal_lpdf(intercept, 0.0, 2.0);
+    lp += normal_lpdf_vec(p.block(kBeta), 0.0, 1.0);
+    lp += bernoulli_logit_glm_lpmf(std::span<const int>(outcomes_),
+                                   std::span<const double>(features_),
+                                   intercept, p.block(kBeta));
+    return lp;
+}
+
+template <typename T>
+T
+AdAttribution::logDensityScalar(const ppl::ParamView<T>& p) const
+{
+    using namespace bayes::math;
+    const T& intercept = p.scalar(kIntercept);
+
+    T lp = normal_lpdf(intercept, 0.0, 2.0);
     for (std::size_t k = 0; k < numFeatures_; ++k)
+        // bayes-lint: allow(R007): reference scalar path; fused twin above
         lp += normal_lpdf(p.at(kBeta, k), 0.0, 1.0);
 
     for (std::size_t i = 0; i < outcomes_.size(); ++i) {
@@ -66,6 +84,7 @@ AdAttribution::logDensity(const ppl::ParamView<T>& p) const
         const double* row = &features_[i * numFeatures_];
         for (std::size_t k = 0; k < numFeatures_; ++k)
             eta += p.at(kBeta, k) * row[k];
+        // bayes-lint: allow(R007): reference scalar path; fused twin above
         lp += bernoulli_logit_lpmf(outcomes_[i], eta);
     }
     return lp;
@@ -81,6 +100,18 @@ ad::Var
 AdAttribution::logProb(const ppl::ParamView<ad::Var>& p) const
 {
     return logDensity(p);
+}
+
+double
+AdAttribution::logProbScalar(const ppl::ParamView<double>& p) const
+{
+    return logDensityScalar(p);
+}
+
+ad::Var
+AdAttribution::logProbScalar(const ppl::ParamView<ad::Var>& p) const
+{
+    return logDensityScalar(p);
 }
 
 } // namespace bayes::workloads

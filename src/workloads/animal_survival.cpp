@@ -1,8 +1,10 @@
 #include "workloads/animal_survival.hpp"
 
 #include <cmath>
+#include <span>
 
 #include "math/distributions.hpp"
+#include "math/vec_kernels.hpp"
 
 namespace bayes::workloads {
 
@@ -58,6 +60,27 @@ AnimalSurvival::AnimalSurvival(double dataScale)
         lastSighting_.push_back(last);
     }
 
+    // Count how often each log-probability term enters the likelihood;
+    // the fused path replaces the per-individual loop with dot products
+    // against these data-only weights.
+    phiCount_.assign(numOccasions_ - 1, 0.0);
+    pCount_.assign(numGroups_ * (numOccasions_ - 1), 0.0);
+    p1mCount_.assign(numGroups_ * (numOccasions_ - 1), 0.0);
+    chiCount_.assign(numGroups_ * numOccasions_, 0.0);
+    for (std::size_t i = 0; i < firstCapture_.size(); ++i) {
+        const auto f = static_cast<std::size_t>(firstCapture_[i]);
+        const auto l = static_cast<std::size_t>(lastSighting_[i]);
+        const auto g = static_cast<std::size_t>(group_[i]);
+        for (std::size_t t = f + 1; t <= l; ++t) {
+            phiCount_[t - 1] += 1.0;
+            if (history_[i * numOccasions_ + t])
+                pCount_[g * (numOccasions_ - 1) + (t - 1)] += 1.0;
+            else
+                p1mCount_[g * (numOccasions_ - 1) + (t - 1)] += 1.0;
+        }
+        chiCount_[g * numOccasions_ + l] += 1.0;
+    }
+
     setModeledDataBytes(history_.size() * sizeof(std::uint8_t)
                         + (firstCapture_.size() + lastSighting_.size()
                            + group_.size())
@@ -89,11 +112,85 @@ AnimalSurvival::logDensity(const ppl::ParamView<T>& p) const
         + normal_lpdf(muP, 0.0, 1.5) + normal_lpdf(sigmaEps, 0.0, 1.0);
 
     // Hierarchical logit-scale survival and recapture parameters.
+    lp += normal_lpdf_vec(p.block(kPhiRaw), muPhi, sigmaPhi);
+    lp += normal_lpdf_vec(p.block(kPRaw), 0.0, 1.5);
+    lp += normal_lpdf_vec(p.block(kEps), 0.0, sigmaEps);
+
+    // Interval survival probabilities (shared by all individuals).
+    std::vector<T> logPhi(numT - 1), log1mPhi(numT - 1);
     for (std::size_t t = 0; t + 1 < numT; ++t) {
+        const T& raw = p.at(kPhiRaw, t);
+        logPhi[t] = -log1pExp(-raw);
+        log1mPhi[t] = -log1pExp(raw);
+    }
+
+    // Per-group recapture and the chi ("never seen again") recursion,
+    // flattened to [g * (T-1) + t] so the count weights can dot them.
+    std::vector<T> logP(numGroups_ * (numT - 1));
+    std::vector<T> log1mP(numGroups_ * (numT - 1));
+    std::vector<T> logChi(numGroups_ * numT, T(0.0));
+    std::vector<T> chi(numT);
+    using std::exp;
+    using std::log;
+    using ad::exp;
+    using ad::log;
+    for (std::size_t g = 0; g < numGroups_; ++g) {
+        const std::size_t row = g * (numT - 1);
+        for (std::size_t t = 0; t + 1 < numT; ++t) {
+            // Recapture probability at occasion t+1 for group g.
+            const T eta = muP + p.at(kPRaw, t) + p.at(kEps, g);
+            logP[row + t] = -log1pExp(-eta);
+            log1mP[row + t] = -log1pExp(eta);
+        }
+        chi[numT - 1] = T(1.0);
+        for (std::size_t t = numT - 1; t-- > 0;) {
+            // chi_t = (1 - phi_t) + phi_t (1 - p_{t+1}) chi_{t+1}
+            const T survivedMissed =
+                exp(logPhi[t] + log1mP[row + t]) * chi[t + 1];
+            chi[t] = exp(log1mPhi[t]) + survivedMissed;
+        }
+        // Only take logs where some individual was last seen at t;
+        // unused entries stay constant zero and drop out of the dot.
+        for (std::size_t t = 0; t < numT; ++t)
+            if (chiCount_[g * numT + t] != 0.0)
+                logChi[g * numT + t] = log(chi[t]);
+    }
+
+    // The whole per-individual loop collapses into four wide nodes.
+    lp += dot_vec(std::span<const T>(logPhi),
+                  std::span<const double>(phiCount_));
+    lp += dot_vec(std::span<const T>(logP),
+                  std::span<const double>(pCount_));
+    lp += dot_vec(std::span<const T>(log1mP),
+                  std::span<const double>(p1mCount_));
+    lp += dot_vec(std::span<const T>(logChi),
+                  std::span<const double>(chiCount_));
+    return lp;
+}
+
+template <typename T>
+T
+AnimalSurvival::logDensityScalar(const ppl::ParamView<T>& p) const
+{
+    using namespace bayes::math;
+    const T& muPhi = p.scalar(kMuPhi);
+    const T& sigmaPhi = p.scalar(kSigmaPhi);
+    const T& muP = p.scalar(kMuP);
+    const T& sigmaEps = p.scalar(kSigmaEps);
+    const std::size_t numT = numOccasions_;
+
+    T lp = normal_lpdf(muPhi, 0.0, 1.5) + normal_lpdf(sigmaPhi, 0.0, 1.0)
+        + normal_lpdf(muP, 0.0, 1.5) + normal_lpdf(sigmaEps, 0.0, 1.0);
+
+    // Hierarchical logit-scale survival and recapture parameters.
+    for (std::size_t t = 0; t + 1 < numT; ++t) {
+        // bayes-lint: allow(R007): reference scalar path; fused twin above
         lp += normal_lpdf(p.at(kPhiRaw, t), muPhi, sigmaPhi);
+        // bayes-lint: allow(R007): reference scalar path; fused twin above
         lp += normal_lpdf(p.at(kPRaw, t), 0.0, 1.5);
     }
     for (std::size_t g = 0; g < numGroups_; ++g)
+        // bayes-lint: allow(R007): reference scalar path; fused twin above
         lp += normal_lpdf(p.at(kEps, g), 0.0, sigmaEps);
 
     // Interval survival probabilities (shared by all individuals).
@@ -154,6 +251,18 @@ ad::Var
 AnimalSurvival::logProb(const ppl::ParamView<ad::Var>& p) const
 {
     return logDensity(p);
+}
+
+double
+AnimalSurvival::logProbScalar(const ppl::ParamView<double>& p) const
+{
+    return logDensityScalar(p);
+}
+
+ad::Var
+AnimalSurvival::logProbScalar(const ppl::ParamView<ad::Var>& p) const
+{
+    return logDensityScalar(p);
 }
 
 } // namespace bayes::workloads

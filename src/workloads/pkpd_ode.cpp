@@ -114,6 +114,7 @@ PkpdOde::logDensity(const ppl::ParamView<T>& p) const
     using ad::log;
     for (std::size_t i = 0; i < observed_.size(); ++i) {
         const T mu = fmax(circ[i], T(1e-8));
+        // bayes-lint: allow(R007): ODE solve dominates; mu is per-row latent
         lp += lognormal_lpdf(observed_[i], log(mu), sigma);
     }
     return lp;

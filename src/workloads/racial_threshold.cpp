@@ -61,7 +61,9 @@ RacialThreshold::logDensity(const ppl::ParamView<T>& p) const
 
     T lp = normal_lpdf(sigmaDept, 0.0, 1.0);
     for (std::size_t r = 0; r < numRaces_; ++r) {
+        // bayes-lint: allow(R007): a handful of races; not a hot loop
         lp += normal_lpdf(p.at(kMuSearch, r), -2.0, 1.5);
+        // bayes-lint: allow(R007): a handful of races; not a hot loop
         lp += normal_lpdf(p.at(kMuHit, r), 0.0, 1.5);
     }
     // Non-centered department effects (the Stan original's trick),
@@ -71,7 +73,9 @@ RacialThreshold::logDensity(const ppl::ParamView<T>& p) const
     std::vector<T> deptSearch(numDepartments_), deptHit(numDepartments_);
     T searchSum = 0.0, hitSum = 0.0;
     for (std::size_t d = 0; d < numDepartments_; ++d) {
+        // bayes-lint: allow(R007): loop also builds effects and sums
         lp += std_normal_lpdf(p.at(kDeptSearch, d));
+        // bayes-lint: allow(R007): loop also builds effects and sums
         lp += std_normal_lpdf(p.at(kDeptHit, d));
         deptSearch[d] = sigmaDept * p.at(kDeptSearch, d);
         deptHit[d] = sigmaDept * p.at(kDeptHit, d);
@@ -87,10 +91,12 @@ RacialThreshold::logDensity(const ppl::ParamView<T>& p) const
         for (std::size_t r = 0; r < numRaces_; ++r) {
             const std::size_t cell = d * numRaces_ + r;
             const T etaSearch = p.at(kMuSearch, r) + deptSearch[d];
+            // bayes-lint: allow(R007): binomial GLM kernel is future work
             lp += binomial_logit_lpmf(searches_[cell], stops_[cell],
                                       etaSearch);
             if (searches_[cell] > 0) {
                 const T etaHit = p.at(kMuHit, r) + deptHit[d];
+                // bayes-lint: allow(R007): binomial GLM kernel is future work
                 lp += binomial_logit_lpmf(hits_[cell], searches_[cell],
                                           etaHit);
             }

@@ -1,8 +1,10 @@
 #include "workloads/tickets_quota.hpp"
 
 #include <cmath>
+#include <span>
 
 #include "math/distributions.hpp"
+#include "math/vec_kernels.hpp"
 
 namespace bayes::workloads {
 
@@ -56,6 +58,17 @@ TicketsQuota::TicketsQuota(double dataScale, double subsampleFraction)
     likelihoodWeight_ =
         static_cast<double>(counts_.size()) / static_cast<double>(activeRows_);
 
+    // Row-major design matrix for the fused GLM kernel: end-of-month
+    // indicator first, then the covariates, matching the coefficient
+    // order {delta, beta...} the fused path assembles.
+    design_.reserve(counts_.size() * (1 + numCovariates_));
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        design_.push_back(endOfMonth_[i]);
+        const double* row = &covariates_[i * numCovariates_];
+        for (std::size_t k = 0; k < numCovariates_; ++k)
+            design_.push_back(row[k]);
+    }
+
     // The modeled data size is what one likelihood evaluation visits.
     const std::size_t rowBytes = sizeof(long) + sizeof(int)
         + (1 + numCovariates_) * sizeof(double);
@@ -77,14 +90,49 @@ TicketsQuota::logDensity(const ppl::ParamView<T>& p) const
     using namespace bayes::math;
     const T& muTheta = p.scalar(kMuTheta);
     const T& sigmaTheta = p.scalar(kSigmaTheta);
+
+    T lp = normal_lpdf(muTheta, 0.0, 3.0)
+        + normal_lpdf(sigmaTheta, 0.0, 1.0)
+        + normal_lpdf(p.scalar(kDelta), 0.0, 1.0);
+    lp += normal_lpdf_vec(p.block(kBeta), 0.0, 0.5);
+    lp += normal_lpdf_vec(p.block(kTheta), muTheta, sigmaTheta);
+
+    // Coefficients in design-column order: {delta, beta...}.
+    std::vector<T> coef;
+    coef.reserve(1 + numCovariates_);
+    coef.push_back(p.scalar(kDelta));
+    for (std::size_t k = 0; k < numCovariates_; ++k)
+        coef.push_back(p.at(kBeta, k));
+    const std::size_t rowLen = 1 + numCovariates_;
+    const T dataLp = poisson_log_glm_lpmf(
+        std::span<const long>(counts_.data(), activeRows_),
+        std::span<const double>(design_.data(), activeRows_ * rowLen),
+        std::span<const int>(officer_.data(), activeRows_),
+        std::span<const double>(), p.block(kTheta),
+        std::span<const T>(coef));
+    // Inverse-probability reweighting keeps the subsampled likelihood
+    // an unbiased surrogate for the full one.
+    lp += likelihoodWeight_ * dataLp;
+    return lp;
+}
+
+template <typename T>
+T
+TicketsQuota::logDensityScalar(const ppl::ParamView<T>& p) const
+{
+    using namespace bayes::math;
+    const T& muTheta = p.scalar(kMuTheta);
+    const T& sigmaTheta = p.scalar(kSigmaTheta);
     const T& delta = p.scalar(kDelta);
 
     T lp = normal_lpdf(muTheta, 0.0, 3.0)
         + normal_lpdf(sigmaTheta, 0.0, 1.0)
         + normal_lpdf(delta, 0.0, 1.0);
     for (std::size_t k = 0; k < numCovariates_; ++k)
+        // bayes-lint: allow(R007): reference scalar path; fused twin above
         lp += normal_lpdf(p.at(kBeta, k), 0.0, 0.5);
     for (std::size_t o = 0; o < numOfficers_; ++o)
+        // bayes-lint: allow(R007): reference scalar path; fused twin above
         lp += normal_lpdf(p.at(kTheta, o), muTheta, sigmaTheta);
 
     T dataLp = 0.0;
@@ -94,6 +142,7 @@ TicketsQuota::logDensity(const ppl::ParamView<T>& p) const
         const double* row = &covariates_[i * numCovariates_];
         for (std::size_t k = 0; k < numCovariates_; ++k)
             eta += p.at(kBeta, k) * row[k];
+        // bayes-lint: allow(R007): reference scalar path; fused twin above
         dataLp += poisson_log_lpmf(counts_[i], eta);
     }
     // Inverse-probability reweighting keeps the subsampled likelihood
@@ -112,6 +161,18 @@ ad::Var
 TicketsQuota::logProb(const ppl::ParamView<ad::Var>& p) const
 {
     return logDensity(p);
+}
+
+double
+TicketsQuota::logProbScalar(const ppl::ParamView<double>& p) const
+{
+    return logDensityScalar(p);
+}
+
+ad::Var
+TicketsQuota::logProbScalar(const ppl::ParamView<ad::Var>& p) const
+{
+    return logDensityScalar(p);
 }
 
 } // namespace bayes::workloads

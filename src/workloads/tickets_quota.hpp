@@ -34,6 +34,8 @@ class TicketsQuota : public Workload
 
     double logProb(const ppl::ParamView<double>& p) const override;
     ad::Var logProb(const ppl::ParamView<ad::Var>& p) const override;
+    double logProbScalar(const ppl::ParamView<double>& p) const override;
+    ad::Var logProbScalar(const ppl::ParamView<ad::Var>& p) const override;
 
     /** Number of officers. */
     std::size_t numOfficers() const { return numOfficers_; }
@@ -57,6 +59,8 @@ class TicketsQuota : public Workload
   private:
     template <typename T>
     T logDensity(const ppl::ParamView<T>& p) const;
+    template <typename T>
+    T logDensityScalar(const ppl::ParamView<T>& p) const;
 
     std::size_t numOfficers_;
     std::size_t numCovariates_;
@@ -66,6 +70,7 @@ class TicketsQuota : public Workload
     std::vector<int> officer_;
     std::vector<double> endOfMonth_;
     std::vector<double> covariates_; ///< row-major [row][covariate]
+    std::vector<double> design_;     ///< row-major [row]{eom, covariates}
 };
 
 } // namespace bayes::workloads

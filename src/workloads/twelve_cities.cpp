@@ -1,8 +1,11 @@
 #include "workloads/twelve_cities.hpp"
 
+#include <array>
 #include <cmath>
+#include <span>
 
 #include "math/distributions.hpp"
+#include "math/vec_kernels.hpp"
 
 namespace bayes::workloads {
 
@@ -51,6 +54,14 @@ TwelveCities::TwelveCities(double dataScale)
         }
     }
 
+    // Row-major design matrix for the fused GLM kernel: the same two
+    // covariates the scalar path reads column-wise.
+    design_.reserve(deaths_.size() * 2);
+    for (std::size_t i = 0; i < deaths_.size(); ++i) {
+        design_.push_back(limitLowered_[i]);
+        design_.push_back(yearCentered_[i]);
+    }
+
     setModeledDataBytes(deaths_.size() * sizeof(long)
                         + city_.size() * sizeof(int)
                         + (limitLowered_.size() + yearCentered_.size()
@@ -73,6 +84,32 @@ TwelveCities::logDensity(const ppl::ParamView<T>& p) const
     using namespace bayes::math;
     const T& muAlpha = p.scalar(kMuAlpha);
     const T& sigmaAlpha = p.scalar(kSigmaAlpha);
+
+    T lp = normal_lpdf(muAlpha, 0.0, 5.0)
+        + normal_lpdf(p.scalar(kSigmaAlpha), 0.0, 2.0) // half-normal
+        + normal_lpdf(p.scalar(kBetaLimit), 0.0, 1.0)
+        + normal_lpdf(p.scalar(kBetaTrend), 0.0, 1.0);
+
+    lp += normal_lpdf_vec(p.block(kAlpha), muAlpha, sigmaAlpha);
+
+    const std::array<T, 2> coef{p.scalar(kBetaLimit),
+                                p.scalar(kBetaTrend)};
+    lp += poisson_log_glm_lpmf(std::span<const long>(deaths_),
+                               std::span<const double>(design_),
+                               std::span<const int>(city_),
+                               std::span<const double>(logExposure_),
+                               p.block(kAlpha),
+                               std::span<const T>(coef));
+    return lp;
+}
+
+template <typename T>
+T
+TwelveCities::logDensityScalar(const ppl::ParamView<T>& p) const
+{
+    using namespace bayes::math;
+    const T& muAlpha = p.scalar(kMuAlpha);
+    const T& sigmaAlpha = p.scalar(kSigmaAlpha);
     const T& betaLimit = p.scalar(kBetaLimit);
     const T& betaTrend = p.scalar(kBetaTrend);
 
@@ -82,12 +119,14 @@ TwelveCities::logDensity(const ppl::ParamView<T>& p) const
         + normal_lpdf(betaTrend, 0.0, 1.0);
 
     for (std::size_t c = 0; c < numCities_; ++c)
+        // bayes-lint: allow(R007): reference scalar path; fused twin above
         lp += normal_lpdf(p.at(kAlpha, c), muAlpha, sigmaAlpha);
 
     for (std::size_t i = 0; i < deaths_.size(); ++i) {
         const T eta = p.at(kAlpha, static_cast<std::size_t>(city_[i]))
             + betaLimit * limitLowered_[i] + betaTrend * yearCentered_[i]
             + logExposure_[i];
+        // bayes-lint: allow(R007): reference scalar path; fused twin above
         lp += poisson_log_lpmf(deaths_[i], eta);
     }
     return lp;
@@ -103,6 +142,18 @@ ad::Var
 TwelveCities::logProb(const ppl::ParamView<ad::Var>& p) const
 {
     return logDensity(p);
+}
+
+double
+TwelveCities::logProbScalar(const ppl::ParamView<double>& p) const
+{
+    return logDensityScalar(p);
+}
+
+ad::Var
+TwelveCities::logProbScalar(const ppl::ParamView<ad::Var>& p) const
+{
+    return logDensityScalar(p);
 }
 
 } // namespace bayes::workloads

@@ -1,9 +1,11 @@
 #include "workloads/votes_forecast.hpp"
 
 #include <cmath>
+#include <span>
 
 #include "math/distributions.hpp"
 #include "math/linalg.hpp"
+#include "math/vec_kernels.hpp"
 
 namespace bayes::workloads {
 
@@ -72,7 +74,42 @@ VotesForecast::logDensity(const ppl::ParamView<T>& p) const
 
     // Non-centered GP: f = mean + L z with z ~ N(0, I).
     const std::vector<T> z = p.vec(kZ);
+    lp += std_normal_lpdf_vec(std::span<const T>(z));
+
+    // The dense Cholesky stays on the scalar tape: its working set is
+    // the triangular factor itself, not per-observation nodes.
+    const Matrix<T> k = gpCovSquaredExp(cycleYears_, alpha, rho, 1e-6);
+    const Matrix<T> l = cholesky(k);
+    const std::vector<T> f = matVec(l, z);
+
+    std::vector<T> mu;
+    mu.reserve(observed_.size());
+    for (std::size_t i = 0; i < observed_.size(); ++i)
+        mu.push_back(mean + f[i]);
+    lp += normal_lpdf_vec(std::span<const double>(observed_),
+                          std::span<const T>(mu), sigma);
+    return lp;
+}
+
+template <typename T>
+T
+VotesForecast::logDensityScalar(const ppl::ParamView<T>& p) const
+{
+    using namespace bayes::math;
+    const T& mean = p.scalar(kMean);
+    const T& alpha = p.scalar(kAlpha);
+    const T& rho = p.scalar(kRho);
+    const T& sigma = p.scalar(kSigma);
+
+    T lp = normal_lpdf(mean, 0.0, 1.0)
+        + lognormal_lpdf(alpha, std::log(0.35), 0.4)
+        + lognormal_lpdf(rho, std::log(1.2), 0.35)
+        + lognormal_lpdf(sigma, std::log(0.1), 0.5);
+
+    // Non-centered GP: f = mean + L z with z ~ N(0, I).
+    const std::vector<T> z = p.vec(kZ);
     for (const T& zi : z)
+        // bayes-lint: allow(R007): reference scalar path; fused twin above
         lp += std_normal_lpdf(zi);
 
     const Matrix<T> k = gpCovSquaredExp(cycleYears_, alpha, rho, 1e-6);
@@ -80,6 +117,7 @@ VotesForecast::logDensity(const ppl::ParamView<T>& p) const
     const std::vector<T> f = matVec(l, z);
 
     for (std::size_t i = 0; i < observed_.size(); ++i)
+        // bayes-lint: allow(R007): reference scalar path; fused twin above
         lp += normal_lpdf(observed_[i], mean + f[i], sigma);
     return lp;
 }
@@ -94,6 +132,18 @@ ad::Var
 VotesForecast::logProb(const ppl::ParamView<ad::Var>& p) const
 {
     return logDensity(p);
+}
+
+double
+VotesForecast::logProbScalar(const ppl::ParamView<double>& p) const
+{
+    return logDensityScalar(p);
+}
+
+ad::Var
+VotesForecast::logProbScalar(const ppl::ParamView<ad::Var>& p) const
+{
+    return logDensityScalar(p);
 }
 
 } // namespace bayes::workloads

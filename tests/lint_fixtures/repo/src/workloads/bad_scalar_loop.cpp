@@ -1,0 +1,65 @@
+// R007 fixture: per-observation scalar density calls inside loops in
+// src/workloads/ must be flagged unless waived as a reference path.
+
+double normal_lpdf(double, double, double);
+double poisson_log_lpmf(long, double);
+double normal_lpdf_vec(const double*, double, double);
+double bernoulli_logit_glm_lpmf(const int*, const double*, double);
+
+double
+braced_loop(const double* y, int n)
+{
+    double lp = 0.0;
+    for (int i = 0; i < n; ++i) {
+        lp += normal_lpdf(y[i], 0.0, 1.0); // EXPECT: R007
+    }
+    return lp;
+}
+
+double
+braceless_loop(const long* counts, int n)
+{
+    double lp = 0.0;
+    for (int i = 0; i < n; ++i)
+        lp += poisson_log_lpmf(counts[i], 0.5); // EXPECT: R007
+    return lp;
+}
+
+double
+while_loop(const double* y, int n)
+{
+    double lp = 0.0;
+    int i = 0;
+    while (i < n) {
+        lp += normal_lpdf(y[i], 0.0, 1.0); // EXPECT: R007
+        ++i;
+    }
+    return lp;
+}
+
+double
+fused_calls_are_fine(const double* y, const int* d, int n)
+{
+    // Fused kernels may appear anywhere, including loops.
+    double lp = bernoulli_logit_glm_lpmf(d, y, 0.1);
+    for (int rep = 0; rep < 2; ++rep)
+        lp += normal_lpdf_vec(y, 0.0, 1.0);
+    (void)n;
+    return lp;
+}
+
+double
+outside_a_loop_is_fine(double y)
+{
+    return normal_lpdf(y, 0.0, 1.0);
+}
+
+double
+waived_reference_path(const double* y, int n)
+{
+    double lp = 0.0;
+    for (int i = 0; i < n; ++i)
+        // bayes-lint: allow(R007): reference scalar path kept for tests
+        lp += normal_lpdf(y[i], 0.0, 1.0);
+    return lp;
+}

@@ -86,8 +86,10 @@ TEST(Subsampling, ShrinksWorkingSetAndModeledData)
     EXPECT_GT(full.modeledDataBytes(), half.modeledDataBytes());
     EXPECT_GT(half.modeledDataBytes(), quarter.modeledDataBytes());
 
-    // The tape shrinks proportionally.
+    // The scalar-path tape shrinks proportionally with the subsample.
     ppl::Evaluator evalFull(full), evalHalf(half);
+    evalFull.setScalarLikelihood(true);
+    evalHalf.setScalarLikelihood(true);
     Rng rng(5);
     const auto qf = samplers::findInitialPoint(evalFull, rng);
     std::vector<double> grad;
@@ -97,6 +99,14 @@ TEST(Subsampling, ShrinksWorkingSetAndModeledData)
     evalHalf.logProbGrad(qh, grad);
     EXPECT_LT(static_cast<double>(evalHalf.lastTapeNodes()),
               0.7 * static_cast<double>(evalFull.lastTapeNodes()));
+
+    // On the fused path the node count no longer scales with rows at
+    // all — subsampling and fusion attack the same working set from
+    // different ends.
+    ppl::Evaluator fusedFull(full), fusedHalf(half);
+    fusedFull.logProbGrad(qf, grad);
+    fusedHalf.logProbGrad(qh, grad);
+    EXPECT_EQ(fusedFull.lastTapeNodes(), fusedHalf.lastTapeNodes());
 }
 
 TEST(Subsampling, ReweightingKeepsLikelihoodMagnitude)

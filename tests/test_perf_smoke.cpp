@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Performance smoke test gating the fused-kernel win: on the `ad`
+ * attribution workload the fused tape must stay at or below 25% of the
+ * scalar reference tape's node count, while producing the same log
+ * density and gradient. Runs as a plain ctest under the `perf-smoke`
+ * label so CI catches regressions that quietly re-inflate the tape
+ * (e.g. a kernel falling back to the scalar loop).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "ppl/evaluator.hpp"
+#include "support/rng.hpp"
+#include "workloads/suite.hpp"
+
+namespace bayes {
+namespace {
+
+TEST(PerfSmoke, FusedTapeIsAQuarterOfScalarOnAdAttribution)
+{
+    const auto wl = workloads::makeWorkload("ad", 1.0);
+    ppl::Evaluator fused(*wl);
+    ppl::Evaluator scalar(*wl);
+    scalar.setScalarLikelihood(true);
+
+    Rng rng(2019);
+    std::vector<double> q(fused.dim());
+    for (auto& qi : q)
+        qi = rng.normal(0.0, 0.3);
+
+    std::vector<double> gF, gS;
+    const double lpF = fused.logProbGrad(q, gF);
+    const double lpS = scalar.logProbGrad(q, gS);
+
+    // Same posterior...
+    EXPECT_NEAR(lpF, lpS, 1e-9 * std::fabs(lpS));
+    ASSERT_EQ(gF.size(), gS.size());
+    for (std::size_t i = 0; i < gF.size(); ++i)
+        EXPECT_NEAR(gF[i], gS[i],
+                    1e-8 * std::max(1.0, std::fabs(gS[i])))
+            << "coord " << i;
+
+    // ...from a tape at most a quarter of the size (the PR's bar).
+    EXPECT_LE(4 * fused.lastTapeNodes(), scalar.lastTapeNodes())
+        << "fused " << fused.lastTapeNodes() << " nodes vs scalar "
+        << scalar.lastTapeNodes();
+}
+
+} // namespace
+} // namespace bayes

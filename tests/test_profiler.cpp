@@ -20,10 +20,24 @@ TEST(Profiler, ProducesOneProfilePerChain)
     ASSERT_EQ(profile.chains.size(), 3u);
     for (const auto& chain : profile.chains) {
         EXPECT_FALSE(chain.trace.empty());
-        EXPECT_GT(chain.tapeNodes, 100u);
+        // Fused kernels keep the tape small but never trivial: priors,
+        // link transforms and the wide likelihood nodes remain.
+        EXPECT_GT(chain.tapeNodes, 30u);
         EXPECT_EQ(chain.dim, wl->layout().dim());
         EXPECT_EQ(chain.dataBytes, wl->modeledDataBytes());
     }
+}
+
+TEST(Profiler, ScalarPathProfilesLargerThanFused)
+{
+    const auto wl = workloads::makeWorkload("12cities", 0.5);
+    const auto fused = profileWorkload(*wl, 1, 10);
+    const auto scalar = profileWorkload(*wl, 1, 10, 20190331,
+                                        /*scalarLikelihood=*/true);
+    // The scalar reference path builds per-observation nodes; the fused
+    // path must be at least 4x smaller (the PR's acceptance bar).
+    EXPECT_GT(scalar.chains[0].tapeNodes, 4 * fused.chains[0].tapeNodes);
+    EXPECT_GT(scalar.chains[0].trace.size(), fused.chains[0].trace.size());
 }
 
 TEST(Profiler, OpCountsSumToTapeNodes)
@@ -88,10 +102,14 @@ TEST(Profiler, TraceContainsReadsAndWrites)
 
 TEST(Profiler, TraceSizeTracksTapeSize)
 {
+    // On the scalar reference path, the larger modeled dataset builds
+    // the larger tape and therefore the larger trace.
     const auto big = workloads::makeWorkload("tickets", 0.5);
     const auto small = workloads::makeWorkload("butterfly", 0.5);
-    const auto bp = profileWorkload(*big, 1, 8);
-    const auto sp = profileWorkload(*small, 1, 8);
+    const auto bp = profileWorkload(*big, 1, 8, 20190331,
+                                    /*scalarLikelihood=*/true);
+    const auto sp = profileWorkload(*small, 1, 8, 20190331,
+                                    /*scalarLikelihood=*/true);
     EXPECT_GT(bp.chains[0].trace.size(), sp.chains[0].trace.size());
 }
 

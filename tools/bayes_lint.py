@@ -16,6 +16,9 @@ Rules
   R005  no `#include <iostream>` in src/ library code
   R006  every src/**/*.hpp compiles as a standalone translation unit
         (only with --compiler; generated one-TU-per-header check)
+  R007  no per-observation scalar *_lpdf/*_lpmf calls inside loops in
+        src/workloads/; use the fused vectorized kernels
+        (src/math/vec_kernels.hpp) or waive the reference scalar path
 
 Waivers: a line (or the line directly below a full-line comment) is
 waived with
@@ -353,6 +356,97 @@ def rule_r004(files, findings, ctx):
                 "src/; remove the row or restore the metric"))
 
 
+# --------------------------------------------------------------------------
+# R007: scalar density calls in workload loops
+# --------------------------------------------------------------------------
+
+R007_LOOP_HEAD = re.compile(r"\b(?:for|while)\s*\(")
+R007_CALL = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
+
+
+def r007_loop_regions(text):
+    """Char-offset (start, end) spans of loop bodies in stripped text.
+
+    A braced body spans its `{...}`; a braceless body spans from the
+    first token after the loop header to the terminating `;`. Nested
+    loops yield overlapping spans, which is fine — membership in any
+    span marks a position as inside a loop.
+    """
+    regions = []
+    n = len(text)
+    search_from = 0
+    while True:
+        m = R007_LOOP_HEAD.search(text, search_from)
+        if not m:
+            return regions
+        search_from = m.end()
+        # Skip past the loop-header parens.
+        i, pdepth = m.end(), 1
+        while i < n and pdepth:
+            if text[i] == "(":
+                pdepth += 1
+            elif text[i] == ")":
+                pdepth -= 1
+            i += 1
+        while i < n and text[i].isspace():
+            i += 1
+        if i < n and text[i] == "{":
+            start, bdepth = i, 1
+            i += 1
+            while i < n and bdepth:
+                if text[i] == "{":
+                    bdepth += 1
+                elif text[i] == "}":
+                    bdepth -= 1
+                i += 1
+            regions.append((start, i))
+        else:
+            # Braceless body: one statement, up to the `;` outside any
+            # nested parens/braces it opens itself.
+            start, bdepth, pdepth = i, 0, 0
+            while i < n:
+                c = text[i]
+                if c == "(":
+                    pdepth += 1
+                elif c == ")":
+                    pdepth -= 1
+                elif c == "{":
+                    bdepth += 1
+                elif c == "}":
+                    bdepth -= 1
+                elif c == ";" and bdepth == 0 and pdepth == 0:
+                    i += 1
+                    break
+                i += 1
+            regions.append((start, i))
+
+
+def rule_r007(files, findings, _ctx):
+    for sf in files:
+        if not in_dirs(sf.relpath, "src/workloads"):
+            continue
+        text = "\n".join(sf.lines)
+        regions = r007_loop_regions(text)
+        if not regions:
+            continue
+        for m in R007_CALL.finditer(text):
+            name = m.group(1)
+            if not name.endswith(("_lpdf", "_lpmf")):
+                continue
+            if "_glm_" in name:
+                continue  # fused GLM kernels are the fix, not a finding
+            if not any(s <= m.start() < e for s, e in regions):
+                continue
+            lineno = text.count("\n", 0, m.start()) + 1
+            if not sf.waived(lineno, "R007"):
+                findings.append(Finding(
+                    sf.relpath, lineno, "R007",
+                    f"scalar {name} in a loop builds one tape node per "
+                    "observation; use a fused kernel from "
+                    "src/math/vec_kernels.hpp (or waive a reference "
+                    "scalar path with justification)"))
+
+
 R005_PAT = re.compile(r"^\s*#\s*include\s*<iostream>")
 
 
@@ -421,6 +515,7 @@ TEXT_RULES = {
     "R003": rule_r003,
     "R004": rule_r004,
     "R005": rule_r005,
+    "R007": rule_r007,
 }
 ALL_RULES = dict(TEXT_RULES)
 ALL_RULES["R006"] = rule_r006
