@@ -72,7 +72,12 @@ fitAdvi(const ppl::Model& model, const AdviConfig& config)
     Adam adamMu(n, config.learningRate);
     Adam adamOmega(n, config.learningRate);
 
-    std::vector<double> theta(n), grad, gradMu(n), gradOmega(n), eps(n);
+    const std::size_t samples = static_cast<std::size_t>(config.gradSamples);
+    std::vector<double> theta(n), gradMu(n), gradOmega(n);
+    std::vector<double> epsAll(samples * n); // [sample][coordinate]
+    ppl::EvalBatch thetaBatch(n, samples);
+    ppl::EvalBatch gradBatch;
+    std::vector<double> lps(samples);
     double bestElbo = -1e300;
     double elboAccum = 0.0;
     int elboCount = 0;
@@ -81,20 +86,30 @@ fitAdvi(const ppl::Model& model, const AdviConfig& config)
         std::fill(gradMu.begin(), gradMu.end(), 0.0);
         std::fill(gradOmega.begin(), gradOmega.end(), 0.0);
         double elbo = 0.0;
-        for (int s = 0; s < config.gradSamples; ++s) {
+        // All S Monte Carlo draws go into one EvalBatch: the gradient
+        // evaluation streams the observed data once per iteration
+        // instead of once per sample. The eps draws stay in the
+        // per-sample order, so the RNG stream matches the sequential
+        // loop this replaced.
+        for (std::size_t s = 0; s < samples; ++s) {
+            double* eps = epsAll.data() + s * n;
             for (std::size_t i = 0; i < n; ++i) {
                 eps[i] = rng.normal();
                 theta[i] = result.mu[i] + std::exp(result.omega[i]) * eps[i];
             }
-            const double lp = eval.logProbGrad(theta, grad);
-            ++result.gradEvals;
-            if (!std::isfinite(lp))
+            thetaBatch.setPoint(s, theta);
+        }
+        eval.logProbGradBatch(thetaBatch, lps, gradBatch);
+        result.gradEvals += samples;
+        for (std::size_t s = 0; s < samples; ++s) {
+            if (!std::isfinite(lps[s]))
                 continue; // skip divergent draws
-            elbo += lp;
+            elbo += lps[s];
+            const double* eps = epsAll.data() + s * n;
             for (std::size_t i = 0; i < n; ++i) {
-                gradMu[i] += grad[i];
+                gradMu[i] += gradBatch.at(i, s);
                 gradOmega[i] +=
-                    grad[i] * eps[i] * std::exp(result.omega[i]);
+                    gradBatch.at(i, s) * eps[i] * std::exp(result.omega[i]);
             }
         }
         const double scale = 1.0 / config.gradSamples;

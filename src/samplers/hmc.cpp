@@ -8,26 +8,30 @@ namespace bayes::samplers {
 HmcTransition
 HmcSampler::transition(PhasePoint& z, Rng& rng)
 {
-    HmcTransition result;
-
-    ham_->sampleMomentum(rng, z);
-    const double joint0 = ham_->joint(z);
-
-    PhasePoint trial = z;
-    for (int s = 0; s < steps_; ++s) {
-        ham_->leapfrog(trial, stepSize_);
-        ++result.gradEvals;
-        if (!std::isfinite(trial.logProb))
-            break;
+    HmcPhase ph;
+    begin(z, rng, ph);
+    std::vector<double> grad;
+    while (prepareStep(ph)) {
+        const double lp =
+            ham_->evaluator().logProbGrad(ph.trial.q, grad);
+        applyEval(ph, lp, grad);
     }
+    return finish(z, ph, rng);
+}
 
-    double joint = ham_->joint(trial);
+HmcTransition
+HmcSampler::finish(PhasePoint& z, HmcPhase& ph, Rng& rng)
+{
+    HmcTransition result;
+    result.gradEvals = ph.gradEvals;
+
+    double joint = ham_->joint(ph.trial);
     if (!std::isfinite(joint))
         joint = -INFINITY;
-    result.divergent = joint0 - joint > kDeltaMax;
-    result.acceptStat = std::min(1.0, std::exp(joint - joint0));
+    result.divergent = ph.joint0 - joint > kDeltaMax;
+    result.acceptStat = std::min(1.0, std::exp(joint - ph.joint0));
     if (rng.uniform() < result.acceptStat) {
-        z = trial;
+        z = ph.trial;
         result.accepted = true;
     }
     return result;

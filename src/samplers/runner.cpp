@@ -114,26 +114,105 @@ class ChainState
     sampleIteration()
     {
         const double acceptStat = advance();
-        acceptAccum_.add(acceptStat);
-        result.draws.push_back(eval_.constrain(z_.q));
-        result.logProbs.push_back(z_.logProb);
+        finishIteration(IterationStat{}, acceptStat, /*record=*/false);
+    }
+
+    // -- Batched round protocol (HMC/MH under the phased executor) ----
+    // Each round the executor opens every chain's transition, gathers
+    // the pending points into one EvalBatch, and delivers the shared
+    // evaluation back — the chain's RNG stream and floating-point
+    // sequence are exactly those of sampleIteration().
+
+    /** Open one MH iteration: draw the proposal to be evaluated. */
+    void mhBegin() { mh_.propose(z_.q, rng_, proposal_); }
+
+    /** Proposal point awaiting its (batched) density. */
+    const std::vector<double>& pendingProposal() const { return proposal_; }
+
+    /** Close the MH iteration with the batched density and record. */
+    void
+    mhFinish(double proposalLogProb)
+    {
+        const MhTransition t =
+            mh_.finish(z_.q, z_.logProb, proposal_, proposalLogProb, rng_);
+        finishIteration(IterationStat{0, 0, false}, t.acceptProb);
+    }
+
+    /** Open one HMC iteration: refresh momentum, start the trajectory. */
+    void hmcBegin() { hmc_.begin(z_, rng_, phase_); }
+
+    /**
+     * Advance to the trajectory's next pending position. Returns false
+     * when the trajectory needs no more gradient evaluations.
+     */
+    bool hmcPrepare() { return hmc_.prepareStep(phase_); }
+
+    /** Trajectory position awaiting its (batched) gradient. */
+    const std::vector<double>& pendingPosition() const
+    {
+        return phase_.trial.q;
+    }
+
+    /** Deliver the batched evaluation at the pending position. */
+    void
+    hmcApplyEval(double logProb, std::span<const double> grad)
+    {
+        hmc_.applyEval(phase_, logProb, grad);
+        ++extGradEvals_;
+    }
+
+    /** Close the HMC iteration (accept/reject) and record the draw. */
+    void
+    hmcFinish()
+    {
+        const HmcTransition t = hmc_.finish(z_, phase_, rng_);
+        finishIteration(
+            IterationStat{
+                t.gradEvals,
+                static_cast<std::uint16_t>(config_.hmcLeapfrogSteps),
+                t.divergent},
+            t.acceptStat);
     }
 
     /** Gradient evaluations consumed so far (work counter). */
-    std::uint64_t gradEvals() const { return eval_.numGradEvals(); }
+    std::uint64_t
+    gradEvals() const
+    {
+        return eval_.numGradEvals() + extGradEvals_;
+    }
 
     /** Finalize summary statistics. */
     void
     finish()
     {
         result.acceptRate = acceptAccum_.mean();
-        result.totalGradEvals = eval_.numGradEvals();
+        result.totalGradEvals = eval_.numGradEvals() + extGradEvals_;
         result.tapeNodesPerEval = eval_.lastTapeNodes();
     }
 
     ChainResult result;
 
   private:
+    /**
+     * Record one post-warmup iteration: the iteration stat and
+     * divergence count (when @p record — advance() already recorded
+     * them for the unbatched path), the acceptance statistic, and the
+     * constrained draw with its log density.
+     */
+    void
+    finishIteration(IterationStat stat, double acceptStat,
+                    bool record = true)
+    {
+        if (record) {
+            if (stat.divergent && !result.draws.empty())
+                ++result.divergences;
+            result.iterStats.push_back(stat);
+        }
+        acceptAccum_.add(acceptStat);
+        result.draws.push_back(eval_.constrain(z_.q));
+        result.logProbs.push_back(z_.logProb);
+    }
+
     /** One transition of the configured kernel; returns accept stat. */
     double
     advance()
@@ -198,6 +277,9 @@ class ChainState
     std::unique_ptr<DualAveraging> da_;
     std::vector<RunningStats> welford_;
     RunningStats acceptAccum_;
+    HmcPhase phase_;               ///< in-flight batched HMC transition
+    std::vector<double> proposal_; ///< in-flight batched MH proposal
+    std::uint64_t extGradEvals_ = 0; ///< evals served by a shared batch
 };
 
 using States = std::vector<std::unique_ptr<ChainState>>;
@@ -342,6 +424,112 @@ runPhased(support::ThreadPool& pool, States& states, int warmup,
     return collect(states);
 }
 
+/** Batched-round telemetry (catalogued in docs/observability.md). */
+struct BatchMetrics
+{
+    obs::Gauge& dataPassesPerRound =
+        obs::Registry::global().gauge("eval.data_passes_per_round");
+
+    static BatchMetrics& get()
+    {
+        static BatchMetrics* m = new BatchMetrics; // leaked, like Registry
+        return *m;
+    }
+};
+
+/**
+ * Phased barrier schedule with batched evaluation: warmup free-runs on
+ * the pool, then each sampling round gathers every chain's pending
+ * point into one EvalBatch and evaluates them against the shared data
+ * in a single pass (HMC gathers once per leapfrog step, shrinking as
+ * trajectories finish early). Per-chain RNG streams are consumed in
+ * exactly the unbatched order, so draws are byte-identical to the
+ * sequential schedule — the executor only changes who performs the
+ * evaluation, not what is evaluated.
+ */
+RunResult
+runBatchedPhased(support::ThreadPool& pool, const ppl::Model& model,
+                 States& states, int warmup, int sampling,
+                 const IterationMonitor& monitor, const Timer& wall,
+                 const Config& config)
+{
+    {
+        obs::Span span("sampler.warmup");
+        std::vector<std::future<void>> futures;
+        futures.reserve(states.size());
+        for (auto& chain : states) {
+            futures.push_back(pool.submit([&chain, warmup] {
+                obs::Span chainSpan("chain.warmup");
+                for (int t = 0; t < warmup; ++t)
+                    chain->warmupIteration(t);
+            }));
+        }
+        support::waitAll(futures);
+    }
+
+    ppl::Evaluator sharedEval(model);
+    const std::size_t dim = sharedEval.dim();
+    ppl::EvalBatch batch;
+    ppl::EvalBatch grads;
+    std::vector<double> lp;
+    std::vector<double> laneGrad;
+    std::vector<ChainState*> pending;
+    pending.reserve(states.size());
+
+    std::vector<ChainResult> view(states.size());
+    std::vector<std::uint64_t> gradEvals(states.size());
+    for (int t = 0; t < sampling; ++t) {
+        Timer round;
+        std::uint64_t passes = 0;
+        {
+            obs::Span span("sampler.round");
+            if (config.algorithm == Algorithm::Mh) {
+                batch.resize(dim, states.size());
+                lp.resize(states.size());
+                for (std::size_t c = 0; c < states.size(); ++c) {
+                    states[c]->mhBegin();
+                    batch.setPoint(c, states[c]->pendingProposal());
+                }
+                sharedEval.logProbBatch(batch, lp);
+                ++passes;
+                for (std::size_t c = 0; c < states.size(); ++c)
+                    states[c]->mhFinish(lp[c]);
+            } else {
+                for (auto& chain : states)
+                    chain->hmcBegin();
+                for (;;) {
+                    pending.clear();
+                    for (auto& chain : states)
+                        if (chain->hmcPrepare())
+                            pending.push_back(chain.get());
+                    if (pending.empty())
+                        break;
+                    batch.resize(dim, pending.size());
+                    lp.resize(pending.size());
+                    for (std::size_t l = 0; l < pending.size(); ++l)
+                        batch.setPoint(l, pending[l]->pendingPosition());
+                    sharedEval.logProbGradBatch(batch, lp, grads);
+                    ++passes;
+                    for (std::size_t l = 0; l < pending.size(); ++l) {
+                        grads.getPoint(l, laneGrad);
+                        pending[l]->hmcApplyEval(lp[l], laneGrad);
+                    }
+                }
+                for (auto& chain : states)
+                    chain->hmcFinish();
+            }
+        }
+        BatchMetrics::get().dataPassesPerRound.set(
+            static_cast<double>(passes));
+        RunnerMetrics::get().roundSeconds.observe(round.seconds());
+        if (monitor
+            && askMonitor(monitor, t + 1, states, view, gradEvals, wall)
+                == MonitorAction::Stop)
+            break;
+    }
+    return collect(states);
+}
+
 } // namespace
 
 std::vector<double>
@@ -404,6 +592,17 @@ run(const ppl::Model& model, const Config& config,
       }
       case ExecutionMode::Pool: {
           auto& pool = support::sharedPool(config.execution.workers);
+          // Pool mode is where chains share data and a schedule, so it
+          // is where batched evaluation pays: HMC/MH rounds gather all
+          // chains' pending points into one EvalBatch. NUTS/Slice keep
+          // per-chain evaluation (their evaluation schedule is
+          // data-dependent per chain).
+          if (config.batchEval && config.chains > 1
+              && (config.algorithm == Algorithm::Hmc
+                  || config.algorithm == Algorithm::Mh)) {
+              return runBatchedPhased(pool, model, states, warmup,
+                                      sampling, monitor, wall, config);
+          }
           return monitor
               ? runPhased(pool, states, warmup, sampling, monitor, wall)
               : runFreeRunning(pool, states, warmup, sampling);

@@ -84,6 +84,13 @@ struct Config
     bool adaptMetric = true;
     /** How chains are executed (see ExecutionPolicy). */
     ExecutionPolicy execution;
+    /**
+     * Pool mode: gather the chains' pending points into one EvalBatch
+     * per round (HMC/MH), streaming the observed data once for all
+     * chains. Draw-for-draw identical to the unbatched schedules;
+     * ablation knob for the batching experiments.
+     */
+    bool batchEval = true;
     /** Base RNG seed; chain c uses the c-th fork of this stream. */
     std::uint64_t seed = 20190331;
 

@@ -1,0 +1,63 @@
+// R008 fixture: per-chain Evaluator::logProbGrad loops outside
+// src/samplers/ must be flagged — the batched surface
+// (logProbGradBatch over a ppl::EvalBatch) streams the data once.
+
+#include <vector>
+
+struct Evaluator
+{
+    double logProbGrad(const std::vector<double>&, std::vector<double>&);
+    double logProbGradBatch(const double*, double*, double*);
+};
+
+double
+per_chain_loop(Evaluator& eval,
+               const std::vector<std::vector<double>>& chains)
+{
+    double lp = 0.0;
+    std::vector<double> grad;
+    for (const auto& q : chains) {
+        lp += eval.logProbGrad(q, grad); // EXPECT: R008
+    }
+    return lp;
+}
+
+double
+braceless_pointer_call(Evaluator* eval,
+                       const std::vector<std::vector<double>>& chains)
+{
+    double lp = 0.0;
+    std::vector<double> grad;
+    for (const auto& q : chains)
+        lp += eval->logProbGrad(q, grad); // EXPECT: R008
+    return lp;
+}
+
+double
+single_call_is_fine(Evaluator& eval, const std::vector<double>& q)
+{
+    std::vector<double> grad;
+    return eval.logProbGrad(q, grad);
+}
+
+double
+batched_call_is_fine(Evaluator& eval, const double* batch, double* lp,
+                     double* grads, int rounds)
+{
+    double total = 0.0;
+    for (int r = 0; r < rounds; ++r)
+        total += eval.logProbGradBatch(batch, lp, grads);
+    return total;
+}
+
+double
+waived_profiling_loop(Evaluator& eval,
+                      const std::vector<std::vector<double>>& chains)
+{
+    double lp = 0.0;
+    std::vector<double> grad;
+    for (const auto& q : chains)
+        // bayes-lint: allow(R008): independent per-chain traces wanted
+        lp += eval.logProbGrad(q, grad);
+    return lp;
+}

@@ -49,5 +49,40 @@ TEST(PerfSmoke, FusedTapeIsAQuarterOfScalarOnAdAttribution)
         << scalar.lastTapeNodes();
 }
 
+TEST(PerfSmoke, BatchedEvalStreamsDataOncePerEightLanes)
+{
+    // The batching win the EvalBatch surface exists for: a K=8
+    // gradient batch makes one pass over the observed data where eight
+    // singles make eight. Checked on both gate workloads.
+    for (const char* name : {"ad", "tickets"}) {
+        const auto wl = workloads::makeWorkload(name, 1.0);
+        ppl::Evaluator batched(*wl);
+        ppl::Evaluator single(*wl);
+
+        Rng rng(2019);
+        constexpr std::size_t kLanes = 8;
+        ppl::EvalBatch batch(batched.dim(), kLanes);
+        std::vector<double> q(batched.dim());
+        std::vector<std::vector<double>> pts;
+        for (std::size_t k = 0; k < kLanes; ++k) {
+            for (auto& qi : q)
+                qi = rng.normal(0.0, 0.3);
+            batch.setPoint(k, q);
+            pts.push_back(q);
+        }
+
+        std::vector<double> lp(kLanes);
+        ppl::EvalBatch grads;
+        batched.logProbGradBatch(batch, lp, grads);
+        std::vector<double> g;
+        for (const auto& p : pts)
+            single.logProbGrad(p, g);
+
+        EXPECT_EQ(batched.numGradEvals(), single.numGradEvals()) << name;
+        EXPECT_EQ(batched.numDataPasses(), 1u) << name;
+        EXPECT_EQ(single.numDataPasses(), kLanes) << name;
+    }
+}
+
 } // namespace
 } // namespace bayes

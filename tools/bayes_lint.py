@@ -19,6 +19,9 @@ Rules
   R007  no per-observation scalar *_lpdf/*_lpmf calls inside loops in
         src/workloads/; use the fused vectorized kernels
         (src/math/vec_kernels.hpp) or waive the reference scalar path
+  R008  no per-chain Evaluator::logProbGrad loops in src/ outside
+        src/samplers/; gather the points into a ppl::EvalBatch and call
+        logProbGradBatch so the observed data is streamed once
 
 Waivers: a line (or the line directly below a full-line comment) is
 waived with
@@ -447,6 +450,41 @@ def rule_r007(files, findings, _ctx):
                     "scalar path with justification)"))
 
 
+# --------------------------------------------------------------------------
+# R008: per-chain logProbGrad loops outside the sampler layer
+# --------------------------------------------------------------------------
+
+R008_CALL = re.compile(r"(?:\.|->)\s*logProbGrad\s*\(")
+
+
+def rule_r008(files, findings, _ctx):
+    """Calling the K=1 gradient wrapper in a loop re-streams the observed
+    data once per iteration — exactly the pattern the batched surface
+    (Evaluator::logProbGradBatch) replaces. The sampler layer is exempt:
+    its per-iteration loops are the Markov chains themselves and the
+    batching there happens in the pooled executor."""
+    for sf in files:
+        if not in_dirs(sf.relpath, "src"):
+            continue
+        if in_dirs(sf.relpath, "src/samplers"):
+            continue
+        text = "\n".join(sf.lines)
+        regions = r007_loop_regions(text)
+        if not regions:
+            continue
+        for m in R008_CALL.finditer(text):
+            if not any(s <= m.start() < e for s, e in regions):
+                continue
+            lineno = text.count("\n", 0, m.start()) + 1
+            if not sf.waived(lineno, "R008"):
+                findings.append(Finding(
+                    sf.relpath, lineno, "R008",
+                    "logProbGrad in a loop streams the observed data once "
+                    "per call; gather the points into a ppl::EvalBatch and "
+                    "use Evaluator::logProbGradBatch (or waive with "
+                    "justification)"))
+
+
 R005_PAT = re.compile(r"^\s*#\s*include\s*<iostream>")
 
 
@@ -516,6 +554,7 @@ TEXT_RULES = {
     "R004": rule_r004,
     "R005": rule_r005,
     "R007": rule_r007,
+    "R008": rule_r008,
 }
 ALL_RULES = dict(TEXT_RULES)
 ALL_RULES["R006"] = rule_r006
