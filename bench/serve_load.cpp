@@ -1,0 +1,189 @@
+/**
+ * @file
+ * Serving-load bench — drives the bayes::serve runtime through a
+ * thousand-plus-request open-loop mixed-tenant trace and reports what a
+ * service owner would ask of it: per-SLO-class p50/p99 latency,
+ * throughput, shed counts, and deadline misses. The arrival schedule is
+ * seeded (identical trace every run); latencies are real measured
+ * service times riding on the virtual clock, so the tails are honest
+ * queueing behavior.
+ *
+ * Output: a human-readable table on stdout, one machine-readable JSON
+ * line (prefixed `SERVE_LOAD_JSON:`) with the headline numbers, and the
+ * usual obs snapshot via $BAYES_BENCH_METRICS_DIR.
+ *
+ * Usage: serve_load [requests] [rate-per-second] [seed]
+ */
+#include "common.hpp"
+#include "obs/obs.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/server.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+using namespace bayes;
+
+namespace {
+
+struct ClassStats
+{
+    std::vector<double> latencies;
+    std::size_t ok = 0;
+    std::size_t shed = 0;
+    std::size_t missed = 0;
+    std::size_t failed = 0;
+
+    std::size_t total() const { return ok + shed + missed + failed; }
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::size_t requests =
+        argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 1200;
+    const double rate = argc > 2 ? std::atof(argv[2]) : 40.0;
+    const std::uint64_t seed =
+        argc > 3 ? static_cast<std::uint64_t>(std::atoll(argv[3])) : 20190331;
+
+    serve::LoadConfig load;
+    load.requests = requests;
+    load.arrivalRatePerSecond = rate;
+    load.seed = seed;
+    const serve::LoadGenerator generator(load, serve::defaultTenantMix());
+
+    std::fprintf(stderr,
+                 "[bench] serve_load: %zu requests, %.1f req/s, seed %llu\n",
+                 requests, rate,
+                 static_cast<unsigned long long>(seed));
+
+    serve::Server server;
+    const Timer wall;
+    server.runSchedule(generator.schedule());
+    const double wallSeconds = wall.seconds();
+
+    ClassStats perClass[serve::kNumSloClasses];
+    for (const serve::Response& r : server.responses()) {
+        ClassStats& c = perClass[static_cast<std::size_t>(r.slo)];
+        switch (r.status) {
+          case serve::RequestStatus::Ok:
+            ++c.ok;
+            c.latencies.push_back(r.latencySeconds);
+            break;
+          case serve::RequestStatus::Shed:
+            ++c.shed;
+            break;
+          case serve::RequestStatus::DeadlineMiss:
+            ++c.missed;
+            c.latencies.push_back(r.latencySeconds);
+            break;
+          case serve::RequestStatus::Failed:
+            ++c.failed;
+            break;
+          case serve::RequestStatus::Queued:
+            std::fprintf(stderr, "ERROR: request %llu still queued\n",
+                         static_cast<unsigned long long>(r.id));
+            return 1;
+        }
+    }
+
+    // Served trace time = the virtual makespan; throughput is completed
+    // requests per virtual second (what a tenant observes), while
+    // wallSeconds is what the bench host actually spent.
+    const double makespan = server.virtualNow();
+    const std::size_t completed =
+        server.admitted() - server.queueDepth();
+    const double throughput =
+        makespan > 0.0 ? static_cast<double>(completed) / makespan : 0.0;
+
+    Table table({"class", "total", "ok", "shed", "miss", "failed", "p50(s)",
+                 "p99(s)"});
+    double p50[serve::kNumSloClasses] = {0.0, 0.0, 0.0};
+    double p99[serve::kNumSloClasses] = {0.0, 0.0, 0.0};
+    for (std::size_t c = 0; c < serve::kNumSloClasses; ++c) {
+        ClassStats& stats = perClass[c];
+        if (!stats.latencies.empty()) {
+            p50[c] = quantile(stats.latencies, 0.50);
+            p99[c] = quantile(stats.latencies, 0.99);
+        }
+        table.row()
+            .cell(serve::sloClassName(static_cast<serve::SloClass>(c)))
+            .cell(static_cast<long>(stats.total()))
+            .cell(static_cast<long>(stats.ok))
+            .cell(static_cast<long>(stats.shed))
+            .cell(static_cast<long>(stats.missed))
+            .cell(static_cast<long>(stats.failed))
+            .cell(p50[c], 4)
+            .cell(p99[c], 4);
+    }
+    printSection("Serving load — per-SLO-class outcome and latency "
+                 "(open-loop Poisson arrivals, virtual-clock latencies)",
+                 table);
+
+    Table totals({"requests", "admitted", "shed", "deadline misses",
+                  "warm hits", "warm misses", "makespan(s)",
+                  "throughput(req/s)", "bench wall(s)"});
+    totals.row()
+        .cell(static_cast<long>(requests))
+        .cell(static_cast<long>(server.admitted()))
+        .cell(static_cast<long>(server.shedCount()))
+        .cell(static_cast<long>(server.deadlineMisses()))
+        .cell(static_cast<long>(server.warmHits()))
+        .cell(static_cast<long>(server.warmMisses()))
+        .cell(makespan, 2)
+        .cell(throughput, 1)
+        .cell(wallSeconds, 2);
+    printSection("Serving load — totals", totals);
+
+    // Machine-readable summary: one line, grep-friendly.
+    std::string json = "{\"requests\":" + std::to_string(requests)
+        + ",\"admitted\":" + std::to_string(server.admitted())
+        + ",\"shed\":" + std::to_string(server.shedCount())
+        + ",\"deadline_misses\":" + std::to_string(server.deadlineMisses())
+        + ",\"warm_hits\":" + std::to_string(server.warmHits())
+        + ",\"warm_misses\":" + std::to_string(server.warmMisses())
+        + ",\"makespan_s\":" + std::to_string(makespan)
+        + ",\"throughput_rps\":" + std::to_string(throughput)
+        + ",\"classes\":{";
+    for (std::size_t c = 0; c < serve::kNumSloClasses; ++c) {
+        const ClassStats& stats = perClass[c];
+        json += std::string(c ? "," : "") + "\""
+            + serve::sloClassName(static_cast<serve::SloClass>(c))
+            + "\":{\"ok\":" + std::to_string(stats.ok)
+            + ",\"shed\":" + std::to_string(stats.shed)
+            + ",\"deadline_miss\":" + std::to_string(stats.missed)
+            + ",\"failed\":" + std::to_string(stats.failed)
+            + ",\"p50_s\":" + std::to_string(p50[c])
+            + ",\"p99_s\":" + std::to_string(p99[c]) + "}";
+    }
+    json += "}}";
+    std::printf("SERVE_LOAD_JSON: %s\n", json.c_str());
+
+    // Sanity gates, so CI catches a serving regression, not a human:
+    // every request reached a terminal state (checked above), and the
+    // interactive class missed no deadlines while the server had
+    // capacity (interactive work is served first by construction).
+    const ClassStats& interactive =
+        perClass[static_cast<std::size_t>(serve::SloClass::Interactive)];
+    if (interactive.missed != 0) {
+        std::fprintf(stderr,
+                     "ERROR: %zu interactive deadline misses under an "
+                     "admission-controlled load\n",
+                     interactive.missed);
+        return 1;
+    }
+    if (interactive.ok == 0) {
+        std::fprintf(stderr, "ERROR: no interactive request served\n");
+        return 1;
+    }
+
+    bench::writeRunReport("serve_load");
+    return 0;
+}

@@ -612,4 +612,32 @@ run(const ppl::Model& model, const Config& config,
     return {};
 }
 
+DeadlineRunResult
+runWithDeadline(const ppl::Model& model, const Config& config,
+                double deadlineSeconds, const IterationMonitor& monitor)
+{
+    DeadlineRunResult out;
+    const Timer wall;
+    if (std::isinf(deadlineSeconds) && deadlineSeconds > 0.0) {
+        out.run = run(model, config, monitor);
+        out.elapsedSeconds = wall.seconds();
+        return out;
+    }
+    bool expired = false;
+    const IterationMonitor deadlineMonitor =
+        [&](const MonitorContext& ctx) -> MonitorAction {
+        if (ctx.elapsedSeconds >= deadlineSeconds) {
+            // Only a premature stop counts as expiry: the final round
+            // of a run that just fits its budget is not a miss.
+            expired = ctx.round < config.postWarmup();
+            return MonitorAction::Stop;
+        }
+        return monitor ? monitor(ctx) : MonitorAction::Continue;
+    };
+    out.run = run(model, config, deadlineMonitor);
+    out.expired = expired;
+    out.elapsedSeconds = wall.seconds();
+    return out;
+}
+
 } // namespace bayes::samplers

@@ -73,6 +73,43 @@ using IterationMonitor = std::function<MonitorAction(const MonitorContext&)>;
 RunResult run(const ppl::Model& model, const Config& config,
               const IterationMonitor& monitor = nullptr);
 
+/** Outcome of a deadline-bounded run (see runWithDeadline). */
+struct DeadlineRunResult
+{
+    RunResult run;
+    /** True when the deadline cut the run short of its iteration budget. */
+    bool expired = false;
+    /** Wall-clock seconds the run consumed (warmup included). */
+    double elapsedSeconds = 0.0;
+};
+
+/**
+ * Run a multi-chain job under a wall-clock budget. The deadline is
+ * enforced at round granularity through the phased executor's monitor:
+ * after every post-warmup round the elapsed time is compared against
+ * @p deadlineSeconds and the run stops — keeping every draw taken so
+ * far — the first time it is exceeded. Consequences of that design:
+ *
+ *  - warmup always completes (no monitor fires during warmup), so a
+ *    deadline shorter than warmup still pays for warmup plus exactly
+ *    one sampling round;
+ *  - a non-finite deadline (or infinity) disables the check and the
+ *    run degenerates to plain run();
+ *  - the deadline changes only *when the run stops*, never any chain's
+ *    trajectory, so delivered draws are a prefix of the undeadlined
+ *    run's draws under every ExecutionPolicy.
+ *
+ * This is the entry the bayes::serve runtime uses to keep one tenant's
+ * over-budget request from blowing through everyone else's SLO.
+ * @param deadlineSeconds  wall budget; <= 0 stops after the first round
+ * @param monitor          optional inner monitor (elision etc.); its
+ *                         Stop verdict is honored alongside the deadline
+ */
+DeadlineRunResult runWithDeadline(const ppl::Model& model,
+                                  const Config& config,
+                                  double deadlineSeconds,
+                                  const IterationMonitor& monitor = nullptr);
+
 /**
  * Draw a finite-density initial point on the unconstrained scale
  * (uniform(-2, 2) per coordinate, up to 100 attempts — Stan's rule).

@@ -1,0 +1,426 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "diagnostics/summary.hpp"
+#include "obs/obs.hpp"
+#include "support/error.hpp"
+#include "support/thread_pool.hpp"
+#include "support/timer.hpp"
+
+namespace bayes::serve {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/** Serving telemetry (catalogued in docs/observability.md). */
+struct ServeMetrics
+{
+    obs::Counter& admitted =
+        obs::Registry::global().counter("serve.admitted");
+    obs::Counter& shed = obs::Registry::global().counter("serve.shed");
+    obs::Counter& deadlineMiss =
+        obs::Registry::global().counter("serve.deadline_miss");
+    obs::Counter& warmHits =
+        obs::Registry::global().counter("serve.warm_hits");
+    obs::Counter& warmMisses =
+        obs::Registry::global().counter("serve.warm_misses");
+    obs::Histogram& queueDepth =
+        obs::Registry::global().histogram("serve.queue_depth");
+    obs::Histogram& requestLatency =
+        obs::Registry::global().histogram("serve.request_latency");
+    obs::Histogram& serviceSeconds =
+        obs::Registry::global().histogram("serve.service_seconds");
+
+    static ServeMetrics& get()
+    {
+        static ServeMetrics* m = new ServeMetrics; // leaked, like Registry
+        return *m;
+    }
+};
+
+/**
+ * Coarse per-chain evaluation-count model for the admission projection.
+ * Deliberately deterministic (no measurement feedback): admit-vs-shed
+ * must be reproducible under a fixed seed.
+ */
+double
+estimatedEvalsPerChain(const samplers::Config& config, std::size_t dim)
+{
+    const double iterations = static_cast<double>(config.iterations);
+    switch (config.algorithm) {
+      case samplers::Algorithm::Mh:
+        return iterations;
+      case samplers::Algorithm::Hmc:
+        return iterations * static_cast<double>(config.hmcLeapfrogSteps);
+      case samplers::Algorithm::Nuts:
+        // Typical adapted tree depth is ~4 (2^4 gradient evals).
+        return iterations * 16.0;
+      case samplers::Algorithm::Slice:
+        // Stepping out + shrinkage averages a handful of density
+        // evaluations per coordinate per sweep.
+        return iterations * static_cast<double>(dim) * 5.0;
+    }
+    return iterations;
+}
+
+} // namespace
+
+const char*
+sloClassName(SloClass slo)
+{
+    switch (slo) {
+      case SloClass::Interactive:
+        return "interactive";
+      case SloClass::Standard:
+        return "standard";
+      case SloClass::Batch:
+        return "batch";
+    }
+    return "?";
+}
+
+double
+defaultDeadlineSeconds(SloClass slo)
+{
+    switch (slo) {
+      case SloClass::Interactive:
+        return 5.0;
+      case SloClass::Standard:
+        return 30.0;
+      case SloClass::Batch:
+        return kInf;
+    }
+    return kInf;
+}
+
+const char*
+requestStatusName(RequestStatus status)
+{
+    switch (status) {
+      case RequestStatus::Queued:
+        return "queued";
+      case RequestStatus::Ok:
+        return "ok";
+      case RequestStatus::Shed:
+        return "shed";
+      case RequestStatus::DeadlineMiss:
+        return "deadline-miss";
+      case RequestStatus::Failed:
+        return "failed";
+    }
+    return "?";
+}
+
+Server::Server(ServerConfig config) : config_(std::move(config))
+{
+    BAYES_CHECK(config_.queueCapacity >= 1,
+                "serve: queue capacity must be >= 1");
+    BAYES_CHECK(config_.workers >= 0,
+                "serve: pool worker count must be >= 0, got "
+                    << config_.workers);
+}
+
+Server::~Server() = default;
+
+Server::WarmModel&
+Server::warm(const std::string& name, double dataScale)
+{
+    const auto key = std::make_pair(name, dataScale);
+    auto it = warmCache_.find(key);
+    if (it != warmCache_.end()) {
+        ++warmHits_;
+        ServeMetrics::get().warmHits.add();
+        return it->second;
+    }
+    ++warmMisses_;
+    ServeMetrics::get().warmMisses.add();
+    WarmModel entry;
+    entry.model = workloads::makeWorkload(name, dataScale);
+    entry.eval = std::make_unique<ppl::Evaluator>(*entry.model);
+    // Profile once at the origin: sizes the tape arena (reused for the
+    // key's lifetime) and yields the work-intensity term of the
+    // admission cost model.
+    std::vector<double> q(entry.eval->dim(), 0.0);
+    std::vector<double> grad;
+    entry.eval->logProbGrad(q, grad);
+    entry.nodesPerEval = static_cast<double>(entry.eval->lastTapeNodes());
+    return warmCache_.emplace(key, std::move(entry)).first->second;
+}
+
+double
+Server::estimate(const Request& request, const WarmModel& warmModel) const
+{
+    const double perChain =
+        estimatedEvalsPerChain(request.config, warmModel.eval->dim());
+    const double evals =
+        perChain * static_cast<double>(std::max(1, request.config.chains));
+    return evals
+        * (config_.costPerEvalSeconds
+           + warmModel.nodesPerEval * config_.costPerNodeSeconds);
+}
+
+double
+Server::estimatedServiceSeconds(const Request& request)
+{
+    return estimate(request, warm(request.workload, request.dataScale));
+}
+
+ppl::Evaluator*
+Server::warmEvaluator(const std::string& workload, double dataScale)
+{
+    const auto it = warmCache_.find(std::make_pair(workload, dataScale));
+    return it == warmCache_.end() ? nullptr : it->second.eval.get();
+}
+
+std::size_t
+Server::queueDepth() const
+{
+    std::size_t depth = 0;
+    for (const auto& queue : queues_)
+        depth += queue.size();
+    return depth;
+}
+
+double
+Server::projectedWaitSeconds(SloClass slo) const
+{
+    // Everything that will be served before a new arrival of class
+    // `slo`: all queued requests of strictly higher priority plus the
+    // ones already waiting in its own class.
+    double wait = 0.0;
+    for (std::size_t c = 0; c <= static_cast<std::size_t>(slo); ++c)
+        for (const QueueEntry& entry : queues_[c])
+            wait += entry.estimatedSeconds;
+    return wait;
+}
+
+void
+Server::shed(Response& response)
+{
+    response.status = RequestStatus::Shed;
+    response.startSeconds = response.arrivalSeconds;
+    response.completionSeconds = response.arrivalSeconds;
+    ++shed_;
+    ServeMetrics::get().shed.add();
+}
+
+void
+Server::fail(Response& response, const std::string& why)
+{
+    response.status = RequestStatus::Failed;
+    response.error = why;
+    response.startSeconds = response.arrivalSeconds;
+    response.completionSeconds = response.arrivalSeconds;
+}
+
+std::uint64_t
+Server::submit(Request request)
+{
+    const std::uint64_t id = responses_.size();
+    responses_.emplace_back();
+    Response& response = responses_.back();
+    response.id = id;
+    response.tenant = request.tenant;
+    response.workload = request.workload;
+    response.slo = request.slo;
+    response.arrivalSeconds = request.arrivalSeconds < 0.0
+        ? virtualNow_
+        : request.arrivalSeconds;
+    const double deadline = request.deadlineSeconds < 0.0
+        ? defaultDeadlineSeconds(request.slo)
+        : request.deadlineSeconds;
+    response.deadlineSeconds = deadline;
+
+    double estimated = 0.0;
+    bool admit = true;
+    try {
+        estimated = estimatedServiceSeconds(request); // warms the cache
+    } catch (const Error& e) {
+        fail(response, e.what());
+        admit = false;
+    }
+    if (admit && deadline <= 0.0) {
+        // Unsatisfiable by definition; reject before it wastes queue
+        // space (admission criterion 2).
+        shed(response);
+        admit = false;
+    }
+    if (admit && queueDepth() >= config_.queueCapacity) {
+        shed(response); // criterion 3: bounded queue
+        admit = false;
+    }
+    if (admit && config_.admitByProjectedWait
+        && projectedWaitSeconds(request.slo) + estimated > deadline) {
+        shed(response); // criterion 4: projected completion past deadline
+        admit = false;
+    }
+    if (admit && request.slo == SloClass::Batch
+        && support::sharedPool(config_.workers).queueDepth()
+            > config_.maxPoolBacklog) {
+        shed(response); // criterion 5: pool backpressure sheds batch work
+        admit = false;
+    }
+    if (admit) {
+        QueueEntry entry;
+        entry.id = id;
+        entry.arrivalSeconds = response.arrivalSeconds;
+        entry.deadlineSeconds = deadline;
+        entry.estimatedSeconds = estimated;
+        entry.request = std::move(request);
+        queues_[static_cast<std::size_t>(entry.request.slo)]
+            .push_back(std::move(entry));
+        ++admitted_;
+        ServeMetrics::get().admitted.add();
+    }
+    ServeMetrics::get().queueDepth.observe(
+        static_cast<double>(queueDepth()));
+    return id;
+}
+
+void
+Server::serveNext()
+{
+    for (auto& queue : queues_) {
+        if (queue.empty())
+            continue;
+        QueueEntry entry = std::move(queue.front());
+        queue.pop_front();
+        Response& response = responses_[entry.id];
+        servedOrder_.push_back(entry.id);
+
+        const double start = std::max(virtualNow_, entry.arrivalSeconds);
+        const double wait = start - entry.arrivalSeconds;
+        response.startSeconds = start;
+        response.queueWaitSeconds = wait;
+
+        if (wait > entry.deadlineSeconds) {
+            // Expired while waiting: answering with a late full run
+            // would only push every later request past its deadline
+            // too, so the miss is recorded without running.
+            response.status = RequestStatus::DeadlineMiss;
+            response.completionSeconds = start;
+            response.latencySeconds = wait;
+            ++deadlineMisses_;
+            ServeMetrics::get().deadlineMiss.add();
+            ServeMetrics::get().requestLatency.observe(wait);
+            return;
+        }
+
+        finishServed(response, entry);
+        return;
+    }
+}
+
+void
+Server::finishServed(Response& response, QueueEntry& entry)
+{
+    obs::Span span("serve.request");
+    WarmModel& warmModel =
+        warm(entry.request.workload, entry.request.dataScale);
+
+    samplers::Config config = entry.request.config;
+    config.execution = samplers::ExecutionPolicy::pool(config_.workers);
+    const double remaining = entry.deadlineSeconds - response.queueWaitSeconds;
+
+    const Timer clock;
+    try {
+        const samplers::DeadlineRunResult outcome =
+            samplers::runWithDeadline(*warmModel.model, config, remaining);
+        const double service = clock.seconds();
+        response.serviceSeconds = service;
+        response.completionSeconds = response.startSeconds + service;
+        response.latencySeconds =
+            response.completionSeconds - response.arrivalSeconds;
+        response.truncatedByDeadline = outcome.expired;
+        response.draws =
+            static_cast<int>(outcome.run.chains.front().draws.size());
+
+        const ppl::ParamLayout& layout = warmModel.model->layout();
+        if (entry.request.query == QueryKind::Summary) {
+            const diagnostics::PosteriorSummary summary =
+                diagnostics::summarize(outcome.run, layout);
+            response.posteriorMean.reserve(summary.coords.size());
+            for (const auto& coord : summary.coords)
+                response.posteriorMean.push_back(coord.mean);
+            response.maxRhat = summary.maxRhat();
+        } else {
+            response.posteriorMean.assign(layout.dim(), 0.0);
+            double count = 0.0;
+            for (const auto& chain : outcome.run.chains) {
+                for (const auto& draw : chain.draws) {
+                    for (std::size_t i = 0; i < draw.size(); ++i)
+                        response.posteriorMean[i] += draw[i];
+                    count += 1.0;
+                }
+            }
+            if (count > 0.0)
+                for (double& m : response.posteriorMean)
+                    m /= count;
+            response.maxRhat = std::numeric_limits<double>::quiet_NaN();
+        }
+
+        const bool missed = outcome.expired
+            || response.latencySeconds > entry.deadlineSeconds;
+        response.status =
+            missed ? RequestStatus::DeadlineMiss : RequestStatus::Ok;
+        if (missed) {
+            ++deadlineMisses_;
+            ServeMetrics::get().deadlineMiss.add();
+        }
+    } catch (const Error& e) {
+        const double service = clock.seconds();
+        response.serviceSeconds = service;
+        response.completionSeconds = response.startSeconds + service;
+        response.latencySeconds =
+            response.completionSeconds - response.arrivalSeconds;
+        response.status = RequestStatus::Failed;
+        response.error = e.what();
+    }
+    virtualNow_ = response.completionSeconds;
+    ServeMetrics::get().requestLatency.observe(response.latencySeconds);
+    ServeMetrics::get().serviceSeconds.observe(response.serviceSeconds);
+}
+
+void
+Server::drain()
+{
+    while (queueDepth() > 0)
+        serveNext();
+}
+
+void
+Server::runSchedule(std::vector<Request> arrivals)
+{
+    std::stable_sort(arrivals.begin(), arrivals.end(),
+                     [](const Request& a, const Request& b) {
+                         return std::max(0.0, a.arrivalSeconds)
+                             < std::max(0.0, b.arrivalSeconds);
+                     });
+    std::size_t next = 0;
+    while (next < arrivals.size() || queueDepth() > 0) {
+        // Idle server: jump the virtual clock to the next arrival.
+        if (queueDepth() == 0 && next < arrivals.size()
+            && arrivals[next].arrivalSeconds > virtualNow_)
+            virtualNow_ = arrivals[next].arrivalSeconds;
+        // Admit everything that has arrived by now, in arrival order.
+        while (next < arrivals.size()
+               && arrivals[next].arrivalSeconds <= virtualNow_)
+            submit(std::move(arrivals[next++]));
+        if (queueDepth() > 0)
+            serveNext();
+    }
+}
+
+const Response&
+Server::response(std::uint64_t id) const
+{
+    BAYES_CHECK(id < responses_.size(),
+                "serve: unknown request id " << id);
+    return responses_[id];
+}
+
+} // namespace bayes::serve

@@ -95,6 +95,13 @@ ThreadPool::submit(std::function<void()> task)
     return future;
 }
 
+std::size_t
+ThreadPool::queueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
 void
 ThreadPool::workerLoop()
 {

@@ -56,10 +56,19 @@ class ThreadPool
     /** Tasks finished since construction (monitoring counter). */
     std::uint64_t tasksCompleted() const { return completed_.load(); }
 
+    /**
+     * Tasks currently waiting in the queue (none executing). This is
+     * the backpressure signal admission-control layers (bayes::serve)
+     * consult before accepting more work; the value is exact at the
+     * instant of the lock but naturally stale by the time the caller
+     * acts on it — treat it as a load estimate, not an invariant.
+     */
+    std::size_t queueDepth() const;
+
   private:
     void workerLoop();
 
-    std::mutex mutex_;
+    mutable std::mutex mutex_;
     std::condition_variable cv_;
     std::deque<std::function<void()>> queue_;
     std::vector<std::thread> workers_;

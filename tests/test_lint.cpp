@@ -64,7 +64,7 @@ TEST(Lint, FixtureSelfTestFiresEveryRuleExactlyWhereSeeded)
     EXPECT_EQ(r.status, 0) << r.output;
     // The fixture set covers every text rule, including waiver hygiene.
     for (const char* rule :
-         {"R000", "R001", "R002", "R003", "R004", "R005", "R007"}) {
+         {"R000", "R001", "R002", "R003", "R004", "R005", "R007", "R009"}) {
         EXPECT_NE(r.output.find(rule), std::string::npos)
             << "fixture run never mentions " << rule << "\n"
             << r.output;

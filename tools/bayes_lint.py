@@ -22,6 +22,9 @@ Rules
   R008  no per-chain Evaluator::logProbGrad loops in src/ outside
         src/samplers/; gather the points into a ppl::EvalBatch and call
         logProbGradBatch so the observed data is streamed once
+  R009  serving code (src/serve/) must not construct a ThreadPool or use
+        thread-per-chain execution; one coordinator thread + the
+        process-shared support::sharedPool is the whole concurrency story
 
 Waivers: a line (or the line directly below a full-line comment) is
 waived with
@@ -485,6 +488,34 @@ def rule_r008(files, findings, _ctx):
                     "justification)"))
 
 
+# --------------------------------------------------------------------------
+# R009: serve layer must not own threads or pools
+# --------------------------------------------------------------------------
+
+R009_PAT = re.compile(
+    r"\bnew\s+(?:\w+\s*::\s*)*ThreadPool\b"
+    r"|\bmake_unique\s*<\s*(?:\w+\s*::\s*)*ThreadPool\b"
+    r"|\bThreadPool\s+\w+\s*[({]"
+    r"|\bthreadPerChain\s*\(\s*\)"
+    r"|\bExecutionMode\s*::\s*ThreadPerChain\b")
+
+
+def rule_r009(files, findings, _ctx):
+    """The serving runtime's concurrency contract: submit/drain run on
+    the coordinating thread and chains fan out through the process-shared
+    support::sharedPool. A private pool (or thread-per-chain execution)
+    inside src/serve/ would nest pools, break the no-nested-wait rule,
+    and tear worker threads up and down per request."""
+    for sf in files:
+        if not in_dirs(sf.relpath, "src/serve"):
+            continue
+        grep_rule(sf, R009_PAT, "R009",
+                  "serve code must not own threads: use the shared pool "
+                  "via samplers::ExecutionPolicy::pool / "
+                  "support::sharedPool, never a private ThreadPool or "
+                  "thread-per-chain execution", findings)
+
+
 R005_PAT = re.compile(r"^\s*#\s*include\s*<iostream>")
 
 
@@ -555,6 +586,7 @@ TEXT_RULES = {
     "R005": rule_r005,
     "R007": rule_r007,
     "R008": rule_r008,
+    "R009": rule_r009,
 }
 ALL_RULES = dict(TEXT_RULES)
 ALL_RULES["R006"] = rule_r006

@@ -36,6 +36,8 @@ PRELUDE = """\
 #include "obs/obs.hpp"
 #include "samplers/advi.hpp"
 #include "samplers/runner.hpp"
+#include "serve/load_generator.hpp"
+#include "serve/server.hpp"
 #include "support/table.hpp"
 #include "support/thread_pool.hpp"
 #include "support/timer.hpp"
