@@ -257,7 +257,7 @@ Registry::global() noexcept
 Counter&
 Registry::counter(const std::string& name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     auto& slot = counters_[name];
     if (!slot)
         slot = std::make_unique<Counter>();
@@ -267,7 +267,7 @@ Registry::counter(const std::string& name)
 Gauge&
 Registry::gauge(const std::string& name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     auto& slot = gauges_[name];
     if (!slot)
         slot = std::make_unique<Gauge>();
@@ -277,7 +277,7 @@ Registry::gauge(const std::string& name)
 Histogram&
 Registry::histogram(const std::string& name)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     auto& slot = histograms_[name];
     if (!slot)
         slot = std::make_unique<Histogram>();
@@ -287,7 +287,7 @@ Registry::histogram(const std::string& name)
 Snapshot
 Registry::snapshot() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     Snapshot snap;
     snap.counters.reserve(counters_.size());
     for (const auto& [name, c] : counters_)
@@ -304,7 +304,7 @@ Registry::snapshot() const
 void
 Registry::reset() noexcept
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     for (auto& [name, c] : counters_)
         c->reset();
     for (auto& [name, g] : gauges_)

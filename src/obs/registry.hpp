@@ -33,9 +33,13 @@
 #include <limits>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+// Freestanding support headers (no layer edge — see the manifest in
+// docs/architecture.md): obs sits below support but may use the
+// annotated lock primitives.
+#include "support/thread_safety.hpp"
 
 #ifndef BAYES_OBS_ENABLED
 #define BAYES_OBS_ENABLED 1
@@ -230,10 +234,13 @@ class Registry
     Registry& operator=(const Registry&) = delete;
 
   private:
-    mutable std::mutex mutex_;
-    std::map<std::string, std::unique_ptr<Counter>> counters_;
-    std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-    std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+    mutable support::Mutex mutex_;
+    std::map<std::string, std::unique_ptr<Counter>> counters_
+        BAYES_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Gauge>> gauges_
+        BAYES_GUARDED_BY(mutex_);
+    std::map<std::string, std::unique_ptr<Histogram>> histograms_
+        BAYES_GUARDED_BY(mutex_);
 };
 
 } // namespace bayes::obs

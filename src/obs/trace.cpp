@@ -48,9 +48,9 @@ Tracer::global() noexcept
 void
 Tracer::start()
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     events_.clear();
-    epoch_ = std::chrono::steady_clock::now();
+    epochSeconds_.store(support::Clock::now(), std::memory_order_relaxed);
     active_.store(true, std::memory_order_relaxed);
 }
 
@@ -63,9 +63,9 @@ Tracer::stop()
 double
 Tracer::nowUs() const noexcept
 {
-    return std::chrono::duration<double, std::micro>(
-               std::chrono::steady_clock::now() - epoch_)
-        .count();
+    return (support::Clock::now()
+            - epochSeconds_.load(std::memory_order_relaxed))
+        * 1e6;
 }
 
 void
@@ -87,21 +87,21 @@ Tracer::instant(const std::string& name)
 void
 Tracer::record(TraceEvent event)
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     events_.push_back(std::move(event));
 }
 
 std::size_t
 Tracer::eventCount() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     return events_.size();
 }
 
 void
 Tracer::writeJson(std::ostream& os) const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    support::MutexLock lock(mutex_);
     os << "{\"traceEvents\": [\n";
     // Process-name metadata so Perfetto shows a labelled track group.
     os << "  {\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, "

@@ -20,14 +20,17 @@
  */
 #pragma once
 
-#include <chrono>
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "obs/registry.hpp" // BAYES_OBS_ENABLED / kCompiledIn
+// Freestanding support headers (no layer edge — docs/architecture.md):
+// the annotated mutex and the swappable Clock seam (R012).
+#include "support/thread_safety.hpp"
+#include "support/timer.hpp"
 
 namespace bayes::obs {
 
@@ -98,9 +101,10 @@ class Tracer
 
   private:
     std::atomic<bool> active_{false};
-    std::chrono::steady_clock::time_point epoch_{};
-    mutable std::mutex mutex_;
-    std::vector<TraceEvent> events_;
+    /** Clock::now() at start(); atomic so span entry needs no lock. */
+    std::atomic<double> epochSeconds_{0.0};
+    mutable support::Mutex mutex_;
+    std::vector<TraceEvent> events_ BAYES_GUARDED_BY(mutex_);
 };
 
 /**

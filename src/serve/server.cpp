@@ -166,18 +166,27 @@ Server::estimate(const Request& request, const WarmModel& warmModel) const
 double
 Server::estimatedServiceSeconds(const Request& request)
 {
+    support::MutexLock lock(mutex_);
     return estimate(request, warm(request.workload, request.dataScale));
 }
 
 ppl::Evaluator*
 Server::warmEvaluator(const std::string& workload, double dataScale)
 {
+    support::MutexLock lock(mutex_);
     const auto it = warmCache_.find(std::make_pair(workload, dataScale));
     return it == warmCache_.end() ? nullptr : it->second.eval.get();
 }
 
 std::size_t
 Server::queueDepth() const
+{
+    support::MutexLock lock(mutex_);
+    return queueDepthLocked();
+}
+
+std::size_t
+Server::queueDepthLocked() const
 {
     std::size_t depth = 0;
     for (const auto& queue : queues_)
@@ -235,92 +244,121 @@ Server::submit(Request request)
         : request.deadlineSeconds;
     response.deadlineSeconds = deadline;
 
-    double estimated = 0.0;
-    bool admit = true;
-    try {
-        estimated = estimatedServiceSeconds(request); // warms the cache
-    } catch (const Error& e) {
-        fail(response, e.what());
-        admit = false;
+    // One lock over the whole admission decision: the criteria must see
+    // a consistent queue state, and enqueue must be atomic with the
+    // checks that justified it.
+    std::size_t depth = 0;
+    {
+        support::MutexLock lock(mutex_);
+        double estimated = 0.0;
+        bool admit = true;
+        try {
+            // Warms the cache and prices the run (same math as the
+            // public estimatedServiceSeconds, called with the lock
+            // already held).
+            estimated =
+                estimate(request, warm(request.workload, request.dataScale));
+        } catch (const Error& e) {
+            fail(response, e.what());
+            admit = false;
+        }
+        if (admit && deadline <= 0.0) {
+            // Unsatisfiable by definition; reject before it wastes queue
+            // space (admission criterion 2).
+            shed(response);
+            admit = false;
+        }
+        if (admit && queueDepthLocked() >= config_.queueCapacity) {
+            shed(response); // criterion 3: bounded queue
+            admit = false;
+        }
+        if (admit && config_.admitByProjectedWait
+            && projectedWaitSeconds(request.slo) + estimated > deadline) {
+            shed(response); // criterion 4: projected completion past deadline
+            admit = false;
+        }
+        if (admit && request.slo == SloClass::Batch
+            && support::sharedPool(config_.workers).queueDepth()
+                > config_.maxPoolBacklog) {
+            shed(response); // criterion 5: pool backpressure sheds batch work
+            admit = false;
+        }
+        if (admit) {
+            QueueEntry entry;
+            entry.id = id;
+            entry.arrivalSeconds = response.arrivalSeconds;
+            entry.deadlineSeconds = deadline;
+            entry.estimatedSeconds = estimated;
+            entry.request = std::move(request);
+            queues_[static_cast<std::size_t>(entry.request.slo)]
+                .push_back(std::move(entry));
+            ++admitted_;
+            ServeMetrics::get().admitted.add();
+        }
+        depth = queueDepthLocked();
     }
-    if (admit && deadline <= 0.0) {
-        // Unsatisfiable by definition; reject before it wastes queue
-        // space (admission criterion 2).
-        shed(response);
-        admit = false;
-    }
-    if (admit && queueDepth() >= config_.queueCapacity) {
-        shed(response); // criterion 3: bounded queue
-        admit = false;
-    }
-    if (admit && config_.admitByProjectedWait
-        && projectedWaitSeconds(request.slo) + estimated > deadline) {
-        shed(response); // criterion 4: projected completion past deadline
-        admit = false;
-    }
-    if (admit && request.slo == SloClass::Batch
-        && support::sharedPool(config_.workers).queueDepth()
-            > config_.maxPoolBacklog) {
-        shed(response); // criterion 5: pool backpressure sheds batch work
-        admit = false;
-    }
-    if (admit) {
-        QueueEntry entry;
-        entry.id = id;
-        entry.arrivalSeconds = response.arrivalSeconds;
-        entry.deadlineSeconds = deadline;
-        entry.estimatedSeconds = estimated;
-        entry.request = std::move(request);
-        queues_[static_cast<std::size_t>(entry.request.slo)]
-            .push_back(std::move(entry));
-        ++admitted_;
-        ServeMetrics::get().admitted.add();
-    }
-    ServeMetrics::get().queueDepth.observe(
-        static_cast<double>(queueDepth()));
+    ServeMetrics::get().queueDepth.observe(static_cast<double>(depth));
     return id;
 }
 
 void
 Server::serveNext()
 {
-    for (auto& queue : queues_) {
-        if (queue.empty())
-            continue;
-        QueueEntry entry = std::move(queue.front());
-        queue.pop_front();
-        Response& response = responses_[entry.id];
-        servedOrder_.push_back(entry.id);
-
-        const double start = std::max(virtualNow_, entry.arrivalSeconds);
-        const double wait = start - entry.arrivalSeconds;
-        response.startSeconds = start;
-        response.queueWaitSeconds = wait;
-
-        if (wait > entry.deadlineSeconds) {
-            // Expired while waiting: answering with a late full run
-            // would only push every later request past its deadline
-            // too, so the miss is recorded without running.
-            response.status = RequestStatus::DeadlineMiss;
-            response.completionSeconds = start;
-            response.latencySeconds = wait;
-            ++deadlineMisses_;
-            ServeMetrics::get().deadlineMiss.add();
-            ServeMetrics::get().requestLatency.observe(wait);
-            return;
+    // Pop under the lock, serve unlocked: the sampling run is the long
+    // part and must not hold the admission mutex.
+    QueueEntry entry;
+    bool found = false;
+    {
+        support::MutexLock lock(mutex_);
+        for (auto& queue : queues_) {
+            if (queue.empty())
+                continue;
+            entry = std::move(queue.front());
+            queue.pop_front();
+            found = true;
+            break;
         }
+    }
+    if (!found)
+        return;
 
-        finishServed(response, entry);
+    Response& response = responses_[entry.id];
+    servedOrder_.push_back(entry.id);
+
+    const double start = std::max(virtualNow_, entry.arrivalSeconds);
+    const double wait = start - entry.arrivalSeconds;
+    response.startSeconds = start;
+    response.queueWaitSeconds = wait;
+
+    if (wait > entry.deadlineSeconds) {
+        // Expired while waiting: answering with a late full run would
+        // only push every later request past its deadline too, so the
+        // miss is recorded without running.
+        response.status = RequestStatus::DeadlineMiss;
+        response.completionSeconds = start;
+        response.latencySeconds = wait;
+        ++deadlineMisses_;
+        ServeMetrics::get().deadlineMiss.add();
+        ServeMetrics::get().requestLatency.observe(wait);
         return;
     }
+
+    finishServed(response, entry);
 }
 
 void
 Server::finishServed(Response& response, QueueEntry& entry)
 {
     obs::Span span("serve.request");
-    WarmModel& warmModel =
-        warm(entry.request.workload, entry.request.dataScale);
+    WarmModel* warmModelPtr = nullptr;
+    {
+        // Short lock to resolve the cache entry; the reference stays
+        // valid unlocked (entries are never erased, map nodes are
+        // stable) so the sampler runs without the mutex held.
+        support::MutexLock lock(mutex_);
+        warmModelPtr = &warm(entry.request.workload, entry.request.dataScale);
+    }
+    WarmModel& warmModel = *warmModelPtr;
 
     samplers::Config config = entry.request.config;
     config.execution = samplers::ExecutionPolicy::pool(config_.workers);

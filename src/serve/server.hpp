@@ -53,6 +53,7 @@
 
 #include "ppl/evaluator.hpp"
 #include "samplers/runner.hpp"
+#include "support/thread_safety.hpp"
 #include "workloads/workload.hpp"
 
 namespace bayes::serve {
@@ -184,9 +185,15 @@ struct ServerConfig
 };
 
 /**
- * The serving runtime. Not thread-safe by design: submit/drain run on
- * one coordinating thread (the pool provides the parallelism), exactly
- * like the phased executor's monitor contract.
+ * The serving runtime. Serving stays single-coordinator by design:
+ * drain/runSchedule and the per-request bookkeeping (responses, served
+ * order, the virtual clock) run on one coordinating thread, exactly
+ * like the phased executor's monitor contract. The *admission-time*
+ * state a future concurrent front door would contend on — the bounded
+ * priority queues and the warm-model cache — is mutex-guarded and
+ * annotated (`BAYES_GUARDED_BY`, lint rule R011), so clang's thread
+ * safety analysis rejects any new code path that touches either
+ * without the lock.
  */
 class Server
 {
@@ -275,17 +282,29 @@ class Server
         double estimatedSeconds = 0.0;
     };
 
-    WarmModel& warm(const std::string& name, double dataScale);
+    WarmModel& warm(const std::string& name, double dataScale)
+        BAYES_REQUIRES(mutex_);
     double estimate(const Request& request, const WarmModel& warm) const;
-    double projectedWaitSeconds(SloClass slo) const;
+    double projectedWaitSeconds(SloClass slo) const BAYES_REQUIRES(mutex_);
+    std::size_t queueDepthLocked() const BAYES_REQUIRES(mutex_);
     void shed(Response& response);
     void fail(Response& response, const std::string& why);
     void serveNext();
     void finishServed(Response& response, QueueEntry& entry);
 
     ServerConfig config_;
-    std::array<std::deque<QueueEntry>, kNumSloClasses> queues_;
-    std::map<std::pair<std::string, double>, WarmModel> warmCache_;
+    /** Guards the admission-time state: queues + warm-model cache. */
+    mutable support::Mutex mutex_;
+    std::array<std::deque<QueueEntry>, kNumSloClasses> queues_
+        BAYES_GUARDED_BY(mutex_);
+    /**
+     * Keyed (workload, dataScale); entries are never erased, so
+     * references to a WarmModel stay valid after the lock is dropped
+     * (std::map nodes are stable) — serving holds no lock while the
+     * sampler runs.
+     */
+    std::map<std::pair<std::string, double>, WarmModel> warmCache_
+        BAYES_GUARDED_BY(mutex_);
     std::vector<Response> responses_;
     std::vector<std::uint64_t> servedOrder_;
     double virtualNow_ = 0.0;

@@ -1,13 +1,13 @@
 #include "support/thread_pool.hpp"
 
 #include <algorithm>
-#include <chrono>
 #include <map>
 #include <memory>
 #include <utility>
 
 #include "obs/obs.hpp"
 #include "support/error.hpp"
+#include "support/timer.hpp"
 
 namespace bayes::support {
 namespace {
@@ -32,14 +32,6 @@ struct PoolMetrics
     }
 };
 
-double
-secondsSince(std::chrono::steady_clock::time_point t0) noexcept
-{
-    return std::chrono::duration<double>(std::chrono::steady_clock::now()
-                                         - t0)
-        .count();
-}
-
 } // namespace
 
 ThreadPool::ThreadPool(int workers)
@@ -55,7 +47,7 @@ ThreadPool::ThreadPool(int workers)
 ThreadPool::~ThreadPool()
 {
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         stopping_ = true;
     }
     cv_.notify_all();
@@ -84,7 +76,7 @@ ThreadPool::submit(std::function<void()> task)
     };
     std::size_t depth;
     {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         BAYES_CHECK(!stopping_, "submit on a stopping thread pool");
         queue_.push_back(std::move(wrapped));
         depth = queue_.size();
@@ -98,7 +90,7 @@ ThreadPool::submit(std::function<void()> task)
 std::size_t
 ThreadPool::queueDepth() const
 {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     return queue_.size();
 }
 
@@ -109,21 +101,25 @@ ThreadPool::workerLoop()
     for (;;) {
         std::function<void()> task;
         {
-            const auto idleFrom = std::chrono::steady_clock::now();
-            std::unique_lock<std::mutex> lock(mutex_);
-            cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+            const double idleFrom = Clock::now();
+            MutexLock lock(mutex_);
+            // Plain predicate loop instead of the wait(lock, pred)
+            // overload: the analysis sees the guarded reads under the
+            // held capability, not inside an unannotated lambda.
+            while (!stopping_ && queue_.empty())
+                cv_.wait(mutex_);
             if (queue_.empty()) {
                 return; // stopping and drained; final wait is not idle
             }
-            metrics.idleSeconds.observe(secondsSince(idleFrom));
+            metrics.idleSeconds.observe(Clock::now() - idleFrom);
             task = std::move(queue_.front());
             queue_.pop_front();
         }
         {
             obs::Span span("pool.task");
-            const auto taskFrom = std::chrono::steady_clock::now();
+            const double taskFrom = Clock::now();
             task(); // exceptions land in the task's future
-            metrics.taskSeconds.observe(secondsSince(taskFrom));
+            metrics.taskSeconds.observe(Clock::now() - taskFrom);
         }
     }
 }
@@ -137,9 +133,10 @@ sharedPool(int workers)
     if (resolved == 0)
         resolved =
             std::max(1, static_cast<int>(std::thread::hardware_concurrency()));
-    static std::mutex mutex;
+    // bayes-lint: allow(R011): function-local static — attributes cannot annotate local declarations; locked on the next line for the full map access
+    static Mutex mutex;
     static std::map<int, std::unique_ptr<ThreadPool>> pools;
-    std::lock_guard<std::mutex> lock(mutex);
+    MutexLock lock(mutex);
     auto& slot = pools[resolved];
     if (!slot)
         slot = std::make_unique<ThreadPool>(resolved);

@@ -20,14 +20,14 @@
 #pragma once
 
 #include <atomic>
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "support/thread_safety.hpp"
 
 namespace bayes::support {
 
@@ -68,12 +68,12 @@ class ThreadPool
   private:
     void workerLoop();
 
-    mutable std::mutex mutex_;
-    std::condition_variable cv_;
-    std::deque<std::function<void()>> queue_;
+    mutable Mutex mutex_;
+    CondVar cv_;
+    std::deque<std::function<void()>> queue_ BAYES_GUARDED_BY(mutex_);
     std::vector<std::thread> workers_;
     std::atomic<std::uint64_t> completed_{0};
-    bool stopping_ = false;
+    bool stopping_ BAYES_GUARDED_BY(mutex_) = false;
 };
 
 /**

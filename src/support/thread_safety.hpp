@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Clang Thread Safety Analysis annotations plus the annotated lock
+ * primitives the rest of the tree is required to use (lint rule R011).
+ *
+ * The paper's determinism claims assume every piece of shared mutable
+ * state has exactly one well-known guard: the pool queue, the obs
+ * registry maps, the tracer event buffer, the serve queue and warm
+ * cache. These macros turn that convention into a compiler-checked
+ * contract — under clang, `-Wthread-safety` (an error in the clang CI
+ * cells) rejects any access to a `BAYES_GUARDED_BY` member without its
+ * mutex held; under other compilers every macro expands to nothing.
+ *
+ * libstdc++'s `std::mutex` carries no capability attributes, so locks
+ * taken through `std::lock_guard` are invisible to the analysis. The
+ * `Mutex` / `MutexLock` / `CondVar` wrappers below are the annotated
+ * equivalents: same cost (they compile to the std primitives), but
+ * every acquire/release is visible to the checker. New mutex-guarded
+ * state must use them; R011 statically requires every mutex member in
+ * src/ to be referenced by at least one BAYES_GUARDED_BY /
+ * BAYES_REQUIRES annotation (or carry a justified waiver).
+ *
+ * This header is *freestanding* (see the layer manifest in
+ * docs/architecture.md): it includes nothing from src/, so any layer —
+ * including obs, which sits below support — may include it without
+ * creating a layer edge.
+ */
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+#if defined(__clang__) && !defined(SWIG)
+#define BAYES_TS_ATTR(x) __attribute__((x))
+#else
+#define BAYES_TS_ATTR(x) // no-op outside clang
+#endif
+
+/** Marks a type as a lockable capability (clang TSA `capability`). */
+#define BAYES_CAPABILITY(x) BAYES_TS_ATTR(capability(x))
+
+/** Marks an RAII type that acquires in ctor / releases in dtor. */
+#define BAYES_SCOPED_CAPABILITY BAYES_TS_ATTR(scoped_lockable)
+
+/** Data member readable/writable only with @p x held. */
+#define BAYES_GUARDED_BY(x) BAYES_TS_ATTR(guarded_by(x))
+
+/** Pointer member whose *pointee* is protected by @p x. */
+#define BAYES_PT_GUARDED_BY(x) BAYES_TS_ATTR(pt_guarded_by(x))
+
+/** Function requires the listed capabilities held on entry and exit. */
+#define BAYES_REQUIRES(...) BAYES_TS_ATTR(requires_capability(__VA_ARGS__))
+
+/** Shared (reader) variant of BAYES_REQUIRES. */
+#define BAYES_REQUIRES_SHARED(...) \
+    BAYES_TS_ATTR(requires_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability (held on exit, not on entry). */
+#define BAYES_ACQUIRE(...) BAYES_TS_ATTR(acquire_capability(__VA_ARGS__))
+#define BAYES_ACQUIRE_SHARED(...) \
+    BAYES_TS_ATTR(acquire_shared_capability(__VA_ARGS__))
+
+/** Function releases the capability (held on entry, not on exit). */
+#define BAYES_RELEASE(...) BAYES_TS_ATTR(release_capability(__VA_ARGS__))
+#define BAYES_RELEASE_SHARED(...) \
+    BAYES_TS_ATTR(release_shared_capability(__VA_ARGS__))
+
+/** Function acquires the capability when it returns @p first arg. */
+#define BAYES_TRY_ACQUIRE(...) \
+    BAYES_TS_ATTR(try_acquire_capability(__VA_ARGS__))
+
+/** Function must NOT be called with the listed capabilities held. */
+#define BAYES_EXCLUDES(...) BAYES_TS_ATTR(locks_excluded(__VA_ARGS__))
+
+/** Function returns a reference to the named capability. */
+#define BAYES_RETURN_CAPABILITY(x) BAYES_TS_ATTR(lock_returned(x))
+
+/** Escape hatch; every use needs a comment explaining why. */
+#define BAYES_NO_THREAD_SAFETY_ANALYSIS \
+    BAYES_TS_ATTR(no_thread_safety_analysis)
+
+namespace bayes::support {
+
+/**
+ * Annotated `std::mutex`. Identical cost and semantics; the attributes
+ * make acquire/release visible to clang's thread safety analysis.
+ */
+class BAYES_CAPABILITY("mutex") Mutex
+{
+  public:
+    Mutex() = default;
+    Mutex(const Mutex&) = delete;
+    Mutex& operator=(const Mutex&) = delete;
+
+    void lock() BAYES_ACQUIRE() { m_.lock(); }
+    void unlock() BAYES_RELEASE() { m_.unlock(); }
+    bool try_lock() BAYES_TRY_ACQUIRE(true) { return m_.try_lock(); }
+
+    /**
+     * Underlying std::mutex, for interop that needs it (CondVar). Locks
+     * taken through the native handle bypass the analysis — keep such
+     * uses inside annotated wrappers.
+     */
+    std::mutex& native() noexcept { return m_; }
+
+  private:
+    std::mutex m_; // bayes-lint: allow(R011): the annotated wrapper itself; guarded state references the enclosing Mutex
+};
+
+/** RAII lock for Mutex — the annotated `std::lock_guard`. */
+class BAYES_SCOPED_CAPABILITY MutexLock
+{
+  public:
+    explicit MutexLock(Mutex& mutex) BAYES_ACQUIRE(mutex) : mutex_(mutex)
+    {
+        mutex_.lock();
+    }
+    ~MutexLock() BAYES_RELEASE() { mutex_.unlock(); }
+
+    MutexLock(const MutexLock&) = delete;
+    MutexLock& operator=(const MutexLock&) = delete;
+
+  private:
+    Mutex& mutex_;
+};
+
+/**
+ * Condition variable over Mutex. `wait` must be called with the mutex
+ * held (BAYES_REQUIRES): it atomically releases while blocking and
+ * reacquires before returning, so from the analysis' point of view the
+ * capability is held across the call — which is exactly the guarantee
+ * callers rely on when they re-examine guarded state after waking.
+ */
+class CondVar
+{
+  public:
+    CondVar() = default;
+    CondVar(const CondVar&) = delete;
+    CondVar& operator=(const CondVar&) = delete;
+
+    void wait(Mutex& mutex) BAYES_REQUIRES(mutex)
+    {
+        // Adopt the already-held native mutex for the wait protocol,
+        // then release ownership back without unlocking: the caller's
+        // MutexLock (or explicit lock) stays the owner of record.
+        std::unique_lock<std::mutex> lock(mutex.native(), std::adopt_lock);
+        cv_.wait(lock);
+        lock.release();
+    }
+
+    void notify_one() noexcept { cv_.notify_one(); }
+    void notify_all() noexcept { cv_.notify_all(); }
+
+  private:
+    std::condition_variable cv_;
+};
+
+} // namespace bayes::support

@@ -1,0 +1,3 @@
+// Fixture: R010 cycle detection — a.hpp and b.hpp include each other.
+#pragma once
+#include "cycle/b.hpp"

@@ -1,0 +1,4 @@
+// Fixture: DFS visits a.hpp first, so the edge back to it is the one
+// that closes the cycle and carries the finding.
+#pragma once
+#include "cycle/a.hpp"  // EXPECT: R010

@@ -1,0 +1,7 @@
+// Fixture: R010 layering — math sits below workloads and may not
+// reach up into it. The freestanding include right before it creates
+// no layer edge (math has no support dependency in the manifest), so
+// only the workloads include fires.
+#pragma once
+#include "support/free.hpp"
+#include "workloads/api.hpp"  // EXPECT: R010

@@ -1,0 +1,22 @@
+// Fixture: R012 — stray std::chrono clock reads outside the Clock
+// seam (src/support/timer.hpp is the only file allowed to touch the
+// std clocks directly; the fixture's own timer.hpp proves the
+// allowlist).
+#include <chrono>
+
+namespace fixture {
+
+double wallSeconds()
+{
+    const auto t = std::chrono::steady_clock::now();  // EXPECT: R012
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+double waivedWallSeconds()
+{
+    // bayes-lint: allow(R012): fixture: comparing raw clocks is this code's whole point
+    const auto t = std::chrono::system_clock::now();
+    return std::chrono::duration<double>(t.time_since_epoch()).count();
+}
+
+}  // namespace fixture

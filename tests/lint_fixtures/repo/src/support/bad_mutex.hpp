@@ -1,0 +1,23 @@
+// Fixture: R011 — a mutex member no annotation references gets zero
+// checking from clang's thread-safety analysis.
+#pragma once
+#include <mutex>
+
+namespace fixture {
+
+struct Unguarded {
+    std::mutex orphan_;  // EXPECT: R011
+    int value = 0;
+};
+
+// Referenced by a BAYES_GUARDED_BY argument: covered, no finding.
+struct Annotated {
+    std::mutex guarded_;
+    int value BAYES_GUARDED_BY(guarded_);
+};
+
+struct Waived {
+    std::mutex cold_;  // bayes-lint: allow(R011): fixture: written once at construction, read-only afterwards
+};
+
+}  // namespace fixture

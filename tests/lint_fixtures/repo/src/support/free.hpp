@@ -1,0 +1,8 @@
+// Fixture: a freestanding leaf header — any layer may include it
+// without creating a layer edge (see the manifest in
+// docs/architecture.md).
+#pragma once
+
+namespace fixture {
+inline int freestandingValue() { return 42; }
+}  // namespace fixture

@@ -1,0 +1,13 @@
+// Fixture: the one blessed direct clock read — R012 allowlists
+// src/support/timer.hpp, so this file must produce no finding.
+#pragma once
+#include <chrono>
+
+namespace fixture {
+inline double clockSeconds()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// EXPECT: R010
+// Fixture: a populated src/ layer that is missing from the
+// bayes-layers manifest is reported at the layer's first file, line 1.
+
+namespace fixture {
+int unlistedLayer() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Fixture: waiver parser edge cases (see docs/static-analysis.md).
+
+// A standalone comment-line waiver covers the line directly below it.
+// bayes-lint: allow(R005): fixture: a full-line comment waiver covers the include below
+#include <iostream>
+
+#include <cmath>
+#include <random>
+
+namespace fixture {
+
+// One waiver, several rules: allow(R002,R003) suppresses both on the
+// same line.
+// bayes-lint: allow(R002,R003): fixture: multi-rule waiver covers the reference path
+double multi() { return lgamma(2.0) + double(std::mt19937{}()); }
+
+// A bare waiver suppresses nothing and is itself a finding (R000).
+double bare() { return std::lgamma(3.0); }  // bayes-lint: allow(R002) // EXPECT: R000 R002
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Fixture: exercises the allowed manifest edge workloads -> math.
+#pragma once
+#include "math/special.hpp"
+
+namespace fixture {
+inline double workloadDensity(double x) { return x; }
+}  // namespace fixture

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The wall-clock seam (lint rule R012): support::Clock is the one
+ * process-wide time source, swappable for virtual-clock replay, and
+ * everything above it — Timer, the tracer's timestamps — follows the
+ * installed source without code changes.
+ */
+#include <gtest/gtest.h>
+
+#include "obs/trace.hpp"
+#include "support/timer.hpp"
+
+namespace {
+
+double g_fakeSeconds = 0.0;
+
+double
+fakeClock() noexcept
+{
+    return g_fakeSeconds;
+}
+
+} // namespace
+
+TEST(Clock, DefaultSourceIsMonotonic)
+{
+    const double t0 = bayes::support::Clock::now();
+    const double t1 = bayes::support::Clock::now();
+    EXPECT_GE(t1, t0);
+}
+
+TEST(Clock, ExchangeSourceInstallsAndRestores)
+{
+    g_fakeSeconds = 7.0;
+    const auto previous = bayes::support::Clock::exchangeSource(&fakeClock);
+    EXPECT_EQ(bayes::support::Clock::now(), 7.0);
+    g_fakeSeconds = 9.5;
+    EXPECT_EQ(bayes::support::Clock::now(), 9.5);
+    // nullptr restores the default steady source.
+    const auto installed = bayes::support::Clock::exchangeSource(nullptr);
+    EXPECT_EQ(installed, &fakeClock);
+    EXPECT_GT(bayes::support::Clock::now(), 100.0); // steady_clock epoch
+    bayes::support::Clock::exchangeSource(previous);
+}
+
+TEST(Clock, ScopedSourceRestoresOnExit)
+{
+    const double realBefore = bayes::support::Clock::now();
+    {
+        g_fakeSeconds = 1.0;
+        bayes::support::ScopedClockSource scoped(&fakeClock);
+        EXPECT_EQ(bayes::support::Clock::now(), 1.0);
+    }
+    EXPECT_GE(bayes::support::Clock::now(), realBefore);
+}
+
+TEST(Clock, TimerMeasuresOnTheInstalledSource)
+{
+    g_fakeSeconds = 100.0;
+    bayes::support::ScopedClockSource scoped(&fakeClock);
+    bayes::Timer timer;
+    g_fakeSeconds = 102.5;
+    EXPECT_DOUBLE_EQ(timer.seconds(), 2.5);
+    timer.reset();
+    EXPECT_DOUBLE_EQ(timer.seconds(), 0.0);
+    g_fakeSeconds = 103.0;
+    EXPECT_DOUBLE_EQ(timer.seconds(), 0.5);
+}
+
+TEST(Clock, TracerTimestampsFollowTheSeam)
+{
+    g_fakeSeconds = 50.0;
+    bayes::support::ScopedClockSource scoped(&fakeClock);
+    auto& tracer = bayes::obs::Tracer::global();
+    tracer.start(); // epoch = 50.0 on the fake clock
+    g_fakeSeconds = 50.25;
+    EXPECT_DOUBLE_EQ(tracer.nowUs(), 0.25 * 1e6);
+    {
+        bayes::obs::Span span("clock.test");
+        g_fakeSeconds = 50.5;
+    }
+    tracer.stop();
+    EXPECT_GE(tracer.eventCount(), 1u);
+    const std::string json = tracer.json();
+    // The span's duration is virtual-clock time: 0.25 s = 250000 us.
+    EXPECT_NE(json.find("\"dur\": 250000"), std::string::npos) << json;
+}

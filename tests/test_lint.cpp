@@ -62,13 +62,54 @@ TEST(Lint, FixtureSelfTestFiresEveryRuleExactlyWhereSeeded)
     const auto r = run(
         lintCmd("--self-test " + kRoot + "/tests/lint_fixtures/repo"));
     EXPECT_EQ(r.status, 0) << r.output;
-    // The fixture set covers every text rule, including waiver hygiene.
+    // The fixture set covers every text rule, including waiver hygiene
+    // and the cross-cutting passes (layering, guarded-by, clocks).
     for (const char* rule :
-         {"R000", "R001", "R002", "R003", "R004", "R005", "R007", "R009"}) {
+         {"R000", "R001", "R002", "R003", "R004", "R005", "R007", "R008",
+          "R009", "R010", "R011", "R012"}) {
         EXPECT_NE(r.output.find(rule), std::string::npos)
             << "fixture run never mentions " << rule << "\n"
             << r.output;
     }
+}
+
+TEST(Lint, ListRulesPrintsTheCatalogue)
+{
+    const auto r = run(lintCmd("--list-rules"));
+    EXPECT_EQ(r.status, 0) << r.output;
+    // Every rule id appears with a one-line summary (id, two spaces,
+    // text) — the same catalogue docs/static-analysis.md tabulates.
+    for (const char* rule : {"R000", "R006", "R010", "R011", "R012"})
+        EXPECT_NE(r.output.find(rule), std::string::npos) << r.output;
+    std::istringstream lines(r.output);
+    std::string line;
+    while (std::getline(lines, line)) {
+        ASSERT_GE(line.size(), 7u) << line;
+        EXPECT_EQ(line[0], 'R') << line;
+        EXPECT_EQ(line.substr(4, 2), "  ") << line;
+        EXPECT_NE(line[6], ' ') << line;
+    }
+}
+
+TEST(Lint, RepeatableRuleFlagSelectsExactlyThoseRules)
+{
+    const auto r = run(
+        lintCmd("--root " + kRoot + "/tests/lint_fixtures/repo"
+                " --rule R005 --rule R012"));
+    EXPECT_EQ(r.status, 1) << r.output;
+    EXPECT_NE(r.output.find("R005"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("R012"), std::string::npos) << r.output;
+    // Rules not selected stay silent even though their fixtures are
+    // seeded with violations.
+    EXPECT_EQ(r.output.find("R002"), std::string::npos) << r.output;
+    EXPECT_EQ(r.output.find("R010"), std::string::npos) << r.output;
+}
+
+TEST(Lint, UnknownRuleIdIsAUsageError)
+{
+    const auto r = run(lintCmd("--root " + kRoot + " --rule R999"));
+    EXPECT_EQ(r.status, 2) << r.output;
+    EXPECT_NE(r.output.find("R999"), std::string::npos) << r.output;
 }
 
 TEST(Lint, RealRepoIsClean)
@@ -134,6 +175,42 @@ TEST(Lint, R004CatalogueDriftFailsBothWays)
         << "' must fail the lint\n" << r.output;
     EXPECT_NE(r.output.find("R004"), std::string::npos) << r.output;
     EXPECT_NE(r.output.find(removed), std::string::npos) << r.output;
+}
+
+TEST(Lint, R010ManifestDriftFailsBothWays)
+{
+    // Copy the real architecture doc and doctor the layer manifest:
+    // grant `obs` a dependency on `serve` that no code exercises. The
+    // stale edge must fail the lint against the real repo — the
+    // manifest cannot silently drift from the include graph.
+    std::ifstream in(kRoot + "/docs/architecture.md");
+    ASSERT_TRUE(in.good());
+    std::ostringstream doctored;
+    std::string line;
+    bool doped = false;
+    while (std::getline(in, line)) {
+        if (!doped && line == "obs:") {
+            doctored << "obs: serve\n";
+            doped = true;
+            continue;
+        }
+        doctored << line << '\n';
+    }
+    ASSERT_TRUE(doped) << "architecture.md has no `obs:` manifest line?";
+
+    const std::string tmp =
+        ::testing::TempDir() + "/architecture_doctored.md";
+    {
+        std::ofstream out(tmp);
+        out << doctored.str();
+    }
+    const auto r = run(lintCmd("--root " + kRoot + " --rules R010 "
+                               "--arch-doc " + tmp));
+    EXPECT_EQ(r.status, 1)
+        << "a stale manifest edge must fail the lint\n" << r.output;
+    EXPECT_NE(r.output.find("R010"), std::string::npos) << r.output;
+    EXPECT_NE(r.output.find("stale manifest edge"), std::string::npos)
+        << r.output;
 }
 
 TEST(Lint, R004RenamedCounterInSrcFailsAgainstRealCatalogue)

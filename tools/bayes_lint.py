@@ -1,710 +1,19 @@
 #!/usr/bin/env python3
-"""bayes-lint: rule-based static invariant checker for the BayesSuite tree.
+"""bayes-lint entry point.
 
-The sampler's reproducibility guarantees rest on a handful of repo-wide
-conventions (single thread pool, re-entrant lgamma, seeded RNG streams,
-a documented metric catalogue). This tool turns those conventions into
-machine-checked rules; it runs as the `static`-labeled ctest and in CI.
-
-Rules
-  R001  no std::thread / pthread_create outside src/support/thread_pool.*
-  R002  no raw lgamma/lgammaf/tgamma family calls outside src/math/special.hpp
-  R003  no std::random_device, rand()/srand(), or std <random> engines
-        outside src/support/rng.{hpp,cpp} and tests/
-  R004  every obs::Registry/Tracer metric name literal in src/ must appear
-        in the docs/observability.md catalogue, and vice versa
-  R005  no `#include <iostream>` in src/ library code
-  R006  every src/**/*.hpp compiles as a standalone translation unit
-        (only with --compiler; generated one-TU-per-header check)
-  R007  no per-observation scalar *_lpdf/*_lpmf calls inside loops in
-        src/workloads/; use the fused vectorized kernels
-        (src/math/vec_kernels.hpp) or waive the reference scalar path
-  R008  no per-chain Evaluator::logProbGrad loops in src/ outside
-        src/samplers/; gather the points into a ppl::EvalBatch and call
-        logProbGradBatch so the observed data is streamed once
-  R009  serving code (src/serve/) must not construct a ThreadPool or use
-        thread-per-chain execution; one coordinator thread + the
-        process-shared support::sharedPool is the whole concurrency story
-
-Waivers: a line (or the line directly below a full-line comment) is
-waived with
-
-    // bayes-lint: allow(R001): justification text
-
-The justification is mandatory; `allow(R001,R003)` waives several rules
-at once. A waiver with no justification is itself reported (R000).
-
-Self-test: `--self-test DIR` lints DIR as if it were a repo root and
-compares the findings against `// EXPECT: RNNN` (or `<!-- EXPECT: RNNN -->`)
-markers inside the fixture files; any mismatch is reported and the exit
-status is non-zero. This is how tests/lint_fixtures/ proves each rule
-fires exactly where intended.
-
-Output format is `path:line: RNNN message` so findings are clickable.
-Exit status: 0 clean, 1 findings, 2 usage/internal error.
-
-Stdlib only; no third-party imports.
+The linter lives in the tools/bayes_lint/ package (source model, rule
+engine, one module per rule family); this shim keeps the historical
+`tools/bayes_lint.py` invocation working for ctest, CI, and editors.
+Run with --list-rules for the catalogue; docs/static-analysis.md has the
+full contract.
 """
 
-from __future__ import annotations
-
-import argparse
 import os
-import re
-import subprocess
 import sys
-import tempfile
 
-# --------------------------------------------------------------------------
-# Source model: file discovery, comment stripping, waivers
-# --------------------------------------------------------------------------
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
 
-CXX_EXTENSIONS = (".hpp", ".h", ".cpp", ".cc", ".cxx")
-SCAN_DIRS = ("src", "bench", "examples", "tools", "tests")
-SKIP_DIR_PARTS = {"lint_fixtures", "__pycache__"}
-
-WAIVER_RE = re.compile(
-    r"(?://|<!--)\s*bayes-lint:\s*allow\(\s*([A-Z0-9, ]+?)\s*\)\s*:?\s*(.*)")
-EXPECT_RE = re.compile(r"(?://|<!--)\s*EXPECT:\s*([A-Z0-9 ]+?)\s*(?:-->)?\s*$")
-
-
-class Finding:
-    __slots__ = ("path", "line", "rule", "message")
-
-    def __init__(self, path, line, rule, message):
-        self.path = path          # repo-root-relative, forward slashes
-        self.line = line          # 1-based
-        self.rule = rule
-        self.message = message
-
-    def key(self):
-        return (self.path, self.line, self.rule)
-
-    def __str__(self):
-        return f"{self.path}:{self.line}: {self.rule} {self.message}"
-
-
-def strip_comments_and_strings(text):
-    """Blank out comments and string/char literals, preserving newlines
-    and column positions, so rule regexes never match inside either."""
-    out = []
-    i, n = 0, len(text)
-    state = "code"  # code | line_comment | block_comment | string | char | raw
-    raw_delim = ""
-    while i < n:
-        c = text[i]
-        nxt = text[i + 1] if i + 1 < n else ""
-        if state == "code":
-            if c == "/" and nxt == "/":
-                state = "line_comment"
-                out.append("  ")
-                i += 2
-            elif c == "/" and nxt == "*":
-                state = "block_comment"
-                out.append("  ")
-                i += 2
-            elif c == 'R' and nxt == '"' and (i == 0 or not (
-                    text[i - 1].isalnum() or text[i - 1] == "_")):
-                m = re.match(r'R"([^()\\ \n]*)\(', text[i:])
-                if m:
-                    raw_delim = ")" + m.group(1) + '"'
-                    state = "raw"
-                    out.append(" " * m.end())
-                    i += m.end()
-                else:
-                    out.append(c)
-                    i += 1
-            elif c == '"':
-                state = "string"
-                out.append('"')
-                i += 1
-            elif c == "'":
-                state = "char"
-                out.append("'")
-                i += 1
-            else:
-                out.append(c)
-                i += 1
-        elif state == "line_comment":
-            if c == "\n":
-                state = "code"
-                out.append("\n")
-            else:
-                out.append(" ")
-            i += 1
-        elif state == "block_comment":
-            if c == "*" and nxt == "/":
-                state = "code"
-                out.append("  ")
-                i += 2
-            else:
-                out.append("\n" if c == "\n" else " ")
-                i += 1
-        elif state == "raw":
-            if text.startswith(raw_delim, i):
-                state = "code"
-                out.append(" " * len(raw_delim))
-                i += len(raw_delim)
-            else:
-                out.append("\n" if c == "\n" else " ")
-                i += 1
-        elif state in ("string", "char"):
-            quote = '"' if state == "string" else "'"
-            if c == "\\" and nxt:
-                out.append("  ")
-                i += 2
-            elif c == quote:
-                state = "code"
-                out.append(quote)
-                i += 1
-            elif c == "\n":  # unterminated; bail to code
-                state = "code"
-                out.append("\n")
-                i += 1
-            else:
-                out.append(" ")
-                i += 1
-    return "".join(out)
-
-
-class SourceFile:
-    """One scanned file: raw lines, stripped lines, waivers, EXPECTs."""
-
-    def __init__(self, root, relpath):
-        self.relpath = relpath.replace(os.sep, "/")
-        with open(os.path.join(root, relpath), encoding="utf-8",
-                  errors="replace") as f:
-            text = f.read()
-        self.raw_lines = text.splitlines()
-        self.lines = strip_comments_and_strings(text).splitlines()
-        # waivers[line] = (set of rule ids, justification, lineno)
-        self.waivers = {}
-        self.expects = {}  # line -> set of rule ids
-        for lineno, raw in enumerate(self.raw_lines, 1):
-            m = WAIVER_RE.search(raw)
-            if m:
-                rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
-                # A trailing comment (e.g. a fixture EXPECT marker) is not
-                # a justification.
-                just = re.split(r"//|<!--", m.group(2))[0]
-                just = just.replace("-->", "").strip()
-                self.waivers[lineno] = (rules, just)
-            m = EXPECT_RE.search(raw)
-            if m:
-                self.expects[lineno] = set(m.group(1).split())
-
-    def waived(self, lineno, rule):
-        """A waiver covers its own line, and the following line when the
-        waiver stands alone on a comment line."""
-        for wline in (lineno, lineno - 1):
-            w = self.waivers.get(wline)
-            if w and rule in w[0] and w[1]:
-                return True
-        return False
-
-
-def discover(root):
-    files = []
-    for top in SCAN_DIRS:
-        topdir = os.path.join(root, top)
-        if not os.path.isdir(topdir):
-            continue
-        for dirpath, dirnames, filenames in os.walk(topdir):
-            dirnames[:] = [d for d in sorted(dirnames)
-                           if d not in SKIP_DIR_PARTS]
-            for name in sorted(filenames):
-                if name.endswith(CXX_EXTENSIONS):
-                    rel = os.path.relpath(os.path.join(dirpath, name), root)
-                    files.append(SourceFile(root, rel))
-    return files
-
-
-# --------------------------------------------------------------------------
-# Rules R001..R005 (regex rules over stripped text)
-# --------------------------------------------------------------------------
-
-def in_dirs(path, *tops):
-    return any(path == t or path.startswith(t + "/") for t in tops)
-
-
-def grep_rule(sf, pattern, rule, message, findings):
-    for lineno, line in enumerate(sf.lines, 1):
-        if pattern.search(line):
-            if not sf.waived(lineno, rule):
-                findings.append(Finding(sf.relpath, lineno, rule, message))
-
-
-# hardware_concurrency() is a capability query, not thread creation.
-R001_PAT = re.compile(
-    r"\bstd\s*::\s*j?thread\b(?!\s*::\s*hardware_concurrency)"
-    r"|\bpthread_create\b")
-R001_ALLOWED = {"src/support/thread_pool.hpp", "src/support/thread_pool.cpp"}
-
-
-def rule_r001(files, findings, _ctx):
-    for sf in files:
-        if in_dirs(sf.relpath, "tests"):
-            continue  # test code may spin raw threads to attack the pool
-        if sf.relpath in R001_ALLOWED:
-            continue
-        grep_rule(sf, R001_PAT, "R001",
-                  "raw std::thread; all threading must go through "
-                  "support::ThreadPool (src/support/thread_pool.hpp)",
-                  findings)
-
-
-# Qualified std::/global-:: calls, the glibc re-entrant entry points, and
-# the variants that have no safe wrapper. Unqualified `lgamma(` is allowed
-# inside src/math/ only, where it binds to bayes::math::lgamma (which
-# routes through lgammaSafe).
-R002_QUALIFIED = re.compile(
-    r"\bstd\s*::\s*(?:lgamma|lgammaf|lgammal|tgamma|tgammaf|tgammal)\s*\("
-    r"|(?<![\w])::\s*(?:lgamma|lgammaf|lgammal|tgamma|tgammaf|tgammal)\s*\("
-    r"|(?<![\w:.])(?:lgamma_r|lgammaf_r)\s*\(")
-R002_UNQUALIFIED = re.compile(
-    r"(?<![\w:.])(?:lgamma|lgammaf|lgammal|tgamma|tgammaf|tgammal)\s*\(")
-R002_ALLOWED = {"src/math/special.hpp"}
-
-
-def rule_r002(files, findings, _ctx):
-    msg = ("raw lgamma/tgamma family call; use math::lgammaSafe / "
-           "math::lgamma (src/math/special.hpp) — glibc lgamma races on "
-           "the global signgam")
-    for sf in files:
-        if sf.relpath in R002_ALLOWED:
-            continue
-        grep_rule(sf, R002_QUALIFIED, "R002", msg, findings)
-        if not in_dirs(sf.relpath, "src/math"):
-            grep_rule(sf, R002_UNQUALIFIED, "R002", msg, findings)
-
-
-R003_PAT = re.compile(
-    r"\bstd\s*::\s*random_device\b"
-    r"|(?<![\w:.])random_device\b"
-    r"|(?<![\w:.])s?rand\s*\("
-    r"|(?:\bstd\s*::\s*|(?<![\w:.]))"
-    r"(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|ranlux\w+)\b")
-R003_ALLOWED = {"src/support/rng.hpp", "src/support/rng.cpp"}
-
-
-def rule_r003(files, findings, _ctx):
-    for sf in files:
-        if in_dirs(sf.relpath, "tests") or sf.relpath in R003_ALLOWED:
-            continue
-        grep_rule(sf, R003_PAT, "R003",
-                  "nondeterministic/unmanaged randomness; all streams must "
-                  "derive from a seeded bayes::Rng (src/support/rng.hpp)",
-                  findings)
-
-
-R004_METRIC_PAT = re.compile(
-    r"\.\s*(?:counter|gauge|histogram)\s*\(\s*\"")
-R004_CATALOG_ROW = re.compile(r"^\|\s*`([^`]+)`\s*\|")
-
-
-def metric_literals(sf):
-    """Yield (lineno, name) for every metric-name literal in the file.
-    Names are read from the raw line (literals are blanked in stripped
-    text); the stripped line is used to locate the call site."""
-    for lineno, line in enumerate(sf.lines, 1):
-        for m in R004_METRIC_PAT.finditer(line):
-            raw = sf.raw_lines[lineno - 1]
-            lit = re.match(r'"([^"]*)"', raw[m.end() - 1:])
-            if lit:
-                yield lineno, lit.group(1)
-
-
-def parse_catalogue(doc_path):
-    """Names from the `## Metric catalogue` section of observability.md,
-    as {name: lineno}."""
-    names = {}
-    in_section = False
-    try:
-        with open(doc_path, encoding="utf-8") as f:
-            for lineno, line in enumerate(f, 1):
-                if line.startswith("## "):
-                    in_section = line.strip().lower() == "## metric catalogue"
-                    continue
-                if in_section:
-                    m = R004_CATALOG_ROW.match(line)
-                    if m and m.group(1).lower() != "name":
-                        names[m.group(1)] = lineno
-    except OSError as e:
-        raise SystemExit(f"bayes-lint: cannot read catalogue {doc_path}: {e}")
-    return names
-
-
-def rule_r004(files, findings, ctx):
-    doc_path = ctx["obs_doc"]
-    if not os.path.isfile(doc_path):
-        return  # tree has no observability catalogue; nothing to check
-    catalogue = parse_catalogue(doc_path)
-    doc_rel = os.path.relpath(doc_path, ctx["root"]).replace(os.sep, "/")
-    used = {}
-    for sf in files:
-        if not in_dirs(sf.relpath, "src") or in_dirs(sf.relpath, "src/obs"):
-            continue
-        for lineno, name in metric_literals(sf):
-            used.setdefault(name, []).append((sf, lineno))
-    for name, sites in sorted(used.items()):
-        if name not in catalogue:
-            sf, lineno = sites[0]
-            if not sf.waived(lineno, "R004"):
-                findings.append(Finding(
-                    sf.relpath, lineno, "R004",
-                    f"metric '{name}' is not in the {doc_rel} catalogue; "
-                    "document it or rename"))
-    for name, lineno in sorted(catalogue.items(), key=lambda kv: kv[1]):
-        if name not in used:
-            findings.append(Finding(
-                doc_rel, lineno, "R004",
-                f"catalogue row '{name}' matches no metric emitted from "
-                "src/; remove the row or restore the metric"))
-
-
-# --------------------------------------------------------------------------
-# R007: scalar density calls in workload loops
-# --------------------------------------------------------------------------
-
-R007_LOOP_HEAD = re.compile(r"\b(?:for|while)\s*\(")
-R007_CALL = re.compile(r"\b([A-Za-z_]\w*)\s*\(")
-
-
-def r007_loop_regions(text):
-    """Char-offset (start, end) spans of loop bodies in stripped text.
-
-    A braced body spans its `{...}`; a braceless body spans from the
-    first token after the loop header to the terminating `;`. Nested
-    loops yield overlapping spans, which is fine — membership in any
-    span marks a position as inside a loop.
-    """
-    regions = []
-    n = len(text)
-    search_from = 0
-    while True:
-        m = R007_LOOP_HEAD.search(text, search_from)
-        if not m:
-            return regions
-        search_from = m.end()
-        # Skip past the loop-header parens.
-        i, pdepth = m.end(), 1
-        while i < n and pdepth:
-            if text[i] == "(":
-                pdepth += 1
-            elif text[i] == ")":
-                pdepth -= 1
-            i += 1
-        while i < n and text[i].isspace():
-            i += 1
-        if i < n and text[i] == "{":
-            start, bdepth = i, 1
-            i += 1
-            while i < n and bdepth:
-                if text[i] == "{":
-                    bdepth += 1
-                elif text[i] == "}":
-                    bdepth -= 1
-                i += 1
-            regions.append((start, i))
-        else:
-            # Braceless body: one statement, up to the `;` outside any
-            # nested parens/braces it opens itself.
-            start, bdepth, pdepth = i, 0, 0
-            while i < n:
-                c = text[i]
-                if c == "(":
-                    pdepth += 1
-                elif c == ")":
-                    pdepth -= 1
-                elif c == "{":
-                    bdepth += 1
-                elif c == "}":
-                    bdepth -= 1
-                elif c == ";" and bdepth == 0 and pdepth == 0:
-                    i += 1
-                    break
-                i += 1
-            regions.append((start, i))
-
-
-def rule_r007(files, findings, _ctx):
-    for sf in files:
-        if not in_dirs(sf.relpath, "src/workloads"):
-            continue
-        text = "\n".join(sf.lines)
-        regions = r007_loop_regions(text)
-        if not regions:
-            continue
-        for m in R007_CALL.finditer(text):
-            name = m.group(1)
-            if not name.endswith(("_lpdf", "_lpmf")):
-                continue
-            if "_glm_" in name:
-                continue  # fused GLM kernels are the fix, not a finding
-            if not any(s <= m.start() < e for s, e in regions):
-                continue
-            lineno = text.count("\n", 0, m.start()) + 1
-            if not sf.waived(lineno, "R007"):
-                findings.append(Finding(
-                    sf.relpath, lineno, "R007",
-                    f"scalar {name} in a loop builds one tape node per "
-                    "observation; use a fused kernel from "
-                    "src/math/vec_kernels.hpp (or waive a reference "
-                    "scalar path with justification)"))
-
-
-# --------------------------------------------------------------------------
-# R008: per-chain logProbGrad loops outside the sampler layer
-# --------------------------------------------------------------------------
-
-R008_CALL = re.compile(r"(?:\.|->)\s*logProbGrad\s*\(")
-
-
-def rule_r008(files, findings, _ctx):
-    """Calling the K=1 gradient wrapper in a loop re-streams the observed
-    data once per iteration — exactly the pattern the batched surface
-    (Evaluator::logProbGradBatch) replaces. The sampler layer is exempt:
-    its per-iteration loops are the Markov chains themselves and the
-    batching there happens in the pooled executor."""
-    for sf in files:
-        if not in_dirs(sf.relpath, "src"):
-            continue
-        if in_dirs(sf.relpath, "src/samplers"):
-            continue
-        text = "\n".join(sf.lines)
-        regions = r007_loop_regions(text)
-        if not regions:
-            continue
-        for m in R008_CALL.finditer(text):
-            if not any(s <= m.start() < e for s, e in regions):
-                continue
-            lineno = text.count("\n", 0, m.start()) + 1
-            if not sf.waived(lineno, "R008"):
-                findings.append(Finding(
-                    sf.relpath, lineno, "R008",
-                    "logProbGrad in a loop streams the observed data once "
-                    "per call; gather the points into a ppl::EvalBatch and "
-                    "use Evaluator::logProbGradBatch (or waive with "
-                    "justification)"))
-
-
-# --------------------------------------------------------------------------
-# R009: serve layer must not own threads or pools
-# --------------------------------------------------------------------------
-
-R009_PAT = re.compile(
-    r"\bnew\s+(?:\w+\s*::\s*)*ThreadPool\b"
-    r"|\bmake_unique\s*<\s*(?:\w+\s*::\s*)*ThreadPool\b"
-    r"|\bThreadPool\s+\w+\s*[({]"
-    r"|\bthreadPerChain\s*\(\s*\)"
-    r"|\bExecutionMode\s*::\s*ThreadPerChain\b")
-
-
-def rule_r009(files, findings, _ctx):
-    """The serving runtime's concurrency contract: submit/drain run on
-    the coordinating thread and chains fan out through the process-shared
-    support::sharedPool. A private pool (or thread-per-chain execution)
-    inside src/serve/ would nest pools, break the no-nested-wait rule,
-    and tear worker threads up and down per request."""
-    for sf in files:
-        if not in_dirs(sf.relpath, "src/serve"):
-            continue
-        grep_rule(sf, R009_PAT, "R009",
-                  "serve code must not own threads: use the shared pool "
-                  "via samplers::ExecutionPolicy::pool / "
-                  "support::sharedPool, never a private ThreadPool or "
-                  "thread-per-chain execution", findings)
-
-
-R005_PAT = re.compile(r"^\s*#\s*include\s*<iostream>")
-
-
-def rule_r005(files, findings, _ctx):
-    for sf in files:
-        if not in_dirs(sf.relpath, "src"):
-            continue
-        grep_rule(sf, R005_PAT, "R005",
-                  "<iostream> in library code; iostream globals are shared "
-                  "mutable state — take a std::ostream& or use support "
-                  "facilities instead", findings)
-
-
-# --------------------------------------------------------------------------
-# R006: every src header compiles standalone
-# --------------------------------------------------------------------------
-
-def rule_r006(files, findings, ctx):
-    compiler = ctx.get("compiler")
-    if not compiler:
-        return
-    headers = [sf for sf in files
-               if in_dirs(sf.relpath, "src") and sf.relpath.endswith(".hpp")]
-    srcdir = os.path.join(ctx["root"], "src")
-    with tempfile.TemporaryDirectory(prefix="bayes-lint-r006-") as tmp:
-        tu = os.path.join(tmp, "header_tu.cpp")
-        for sf in headers:
-            rel_from_src = os.path.relpath(
-                os.path.join(ctx["root"], sf.relpath), srcdir)
-            with open(tu, "w", encoding="utf-8") as f:
-                f.write(f'#include "{rel_from_src.replace(os.sep, "/")}"\n')
-            cmd = [compiler, "-std=" + ctx["std"], "-fsyntax-only",
-                   "-I", srcdir, "-Wall", "-Wextra", tu]
-            proc = subprocess.run(cmd, capture_output=True, text=True)
-            if proc.returncode != 0:
-                first_error = next(
-                    (ln for ln in proc.stderr.splitlines() if "error" in ln),
-                    proc.stderr.strip().splitlines()[0]
-                    if proc.stderr.strip() else "compiler failed")
-                if not sf.waived(1, "R006"):
-                    findings.append(Finding(
-                        sf.relpath, 1, "R006",
-                        "header does not compile standalone: "
-                        f"{first_error.strip()}"))
-
-
-# --------------------------------------------------------------------------
-# Waiver hygiene (R000)
-# --------------------------------------------------------------------------
-
-def rule_r000(files, findings, _ctx):
-    for sf in files:
-        for lineno, (rules, just) in sorted(sf.waivers.items()):
-            if not just:
-                findings.append(Finding(
-                    sf.relpath, lineno, "R000",
-                    "waiver without justification; write "
-                    "`// bayes-lint: allow("
-                    + ",".join(sorted(rules)) + "): <why>`"))
-
-
-TEXT_RULES = {
-    "R000": rule_r000,
-    "R001": rule_r001,
-    "R002": rule_r002,
-    "R003": rule_r003,
-    "R004": rule_r004,
-    "R005": rule_r005,
-    "R007": rule_r007,
-    "R008": rule_r008,
-    "R009": rule_r009,
-}
-ALL_RULES = dict(TEXT_RULES)
-ALL_RULES["R006"] = rule_r006
-
-
-# --------------------------------------------------------------------------
-# Driver
-# --------------------------------------------------------------------------
-
-def run_rules(root, rules, compiler=None, std="c++20", obs_doc=None):
-    files = discover(root)
-    ctx = {
-        "root": root,
-        "compiler": compiler,
-        "std": std,
-        "obs_doc": obs_doc or os.path.join(root, "docs", "observability.md"),
-    }
-    findings = []
-    for rule_id in rules:
-        ALL_RULES[rule_id](files, findings, ctx)
-    findings.sort(key=Finding.key)
-    deduped = []
-    for f in findings:
-        if not deduped or f.key() != deduped[-1].key():
-            deduped.append(f)
-    return files, deduped
-
-
-def self_test(root, rules):
-    """Compare findings against EXPECT markers in the fixture tree."""
-    files, findings = run_rules(root, rules)
-    expected = set()
-    for sf in files:
-        for lineno, rule_ids in sf.expects.items():
-            for rule_id in rule_ids:
-                expected.add((sf.relpath, lineno, rule_id))
-    # Markdown fixtures (the R004 catalogue) are not C++ files; scan them
-    # for EXPECT markers directly.
-    for dirpath, dirnames, filenames in os.walk(root):
-        dirnames[:] = sorted(dirnames)
-        for name in sorted(filenames):
-            if not name.endswith(".md"):
-                continue
-            rel = os.path.relpath(os.path.join(dirpath, name), root)
-            with open(os.path.join(dirpath, name), encoding="utf-8") as f:
-                for lineno, line in enumerate(f, 1):
-                    m = EXPECT_RE.search(line)
-                    if m:
-                        for rule_id in m.group(1).split():
-                            expected.add(
-                                (rel.replace(os.sep, "/"), lineno, rule_id))
-    actual = {f.key() for f in findings}
-    ok = True
-    for key in sorted(expected - actual):
-        ok = False
-        print("%s:%d: self-test: expected %s did not fire" % key)
-    for f in sorted(findings, key=Finding.key):
-        if f.key() not in expected:
-            ok = False
-            print(f"{f} (self-test: unexpected finding)")
-    for path, line, rule in sorted(expected & actual):
-        print(f"ok: {path}:{line}: {rule}")
-    n = len(expected & actual)
-    print(f"bayes-lint self-test: {n}/{len(expected)} expected findings "
-          f"fired, {len(actual - expected)} unexpected", file=sys.stderr)
-    return 0 if ok else 1
-
-
-def main(argv=None):
-    ap = argparse.ArgumentParser(
-        prog="bayes-lint", description=__doc__.splitlines()[0])
-    ap.add_argument("--root", default=".",
-                    help="repo root to lint (default: cwd)")
-    ap.add_argument("--rules",
-                    help="comma-separated rule ids (default: all text rules, "
-                         "plus R006 when --compiler is given)")
-    ap.add_argument("--compiler",
-                    help="C++ compiler for the R006 standalone-header check")
-    ap.add_argument("--std", default="c++20",
-                    help="language standard for R006 (default: c++20)")
-    ap.add_argument("--obs-doc",
-                    help="override path of the observability catalogue "
-                         "(R004); used by drift tests")
-    ap.add_argument("--self-test", metavar="DIR",
-                    help="lint DIR and compare against EXPECT markers")
-    ap.add_argument("--list-rules", action="store_true")
-    args = ap.parse_args(argv)
-
-    if args.list_rules:
-        for rule_id in sorted(ALL_RULES):
-            print(rule_id)
-        return 0
-
-    if args.rules:
-        rules = [r.strip() for r in args.rules.split(",") if r.strip()]
-        unknown = [r for r in rules if r not in ALL_RULES]
-        if unknown:
-            print(f"bayes-lint: unknown rule(s): {', '.join(unknown)}",
-                  file=sys.stderr)
-            return 2
-    else:
-        rules = sorted(TEXT_RULES)
-        if args.compiler:
-            rules.append("R006")
-
-    if args.self_test:
-        return self_test(os.path.abspath(args.self_test),
-                         [r for r in rules if r != "R006"])
-
-    root = os.path.abspath(args.root)
-    _, findings = run_rules(root, rules, compiler=args.compiler,
-                            std=args.std, obs_doc=args.obs_doc)
-    for f in findings:
-        print(f)
-    print(f"bayes-lint: {len(findings)} finding(s) in {root}",
-          file=sys.stderr)
-    return 1 if findings else 0
-
+from bayes_lint.cli import main  # noqa: E402
 
 if __name__ == "__main__":
     sys.exit(main())

@@ -1,0 +1,22 @@
+"""bayes-lint: rule-based static invariant checker for the BayesSuite tree.
+
+The sampler's reproducibility guarantees rest on a handful of repo-wide
+conventions (single thread pool, re-entrant lgamma, seeded RNG streams, a
+documented metric catalogue, an acyclic layered include graph, annotated
+locks, one wall-clock seam). This package turns those conventions into
+machine-checked rules; it runs as the `static`-labeled ctest and in CI.
+
+Layout
+  source.py   file discovery, comment stripping, waivers, EXPECT markers
+  engine.py   rule registry, pass pipeline, self-test harness
+  cli.py      argument parsing and the exit-status contract
+  rules/      one module per rule family; importing the package
+              registers every rule with the engine
+
+Run `tools/bayes_lint.py --list-rules` for the rule catalogue, or see
+docs/static-analysis.md for the full contract (waivers, fixtures, CI).
+
+Stdlib only; no third-party imports.
+"""
+
+__all__ = ["source", "engine", "cli"]

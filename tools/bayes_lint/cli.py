@@ -1,0 +1,98 @@
+"""Command-line front end.
+
+Output format is `path:line: RNNN message` so findings are clickable.
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+
+Waivers: a line (or the line directly below a full-line comment) is
+waived with
+
+    // bayes-lint: allow(R001): justification text
+
+The justification is mandatory; `allow(R001,R003)` waives several rules
+at once. A waiver with no justification is itself reported (R000) and
+suppresses nothing.
+
+Self-test: `--self-test DIR` lints DIR as if it were a repo root and
+compares the findings against `// EXPECT: RNNN` (or
+`<!-- EXPECT: RNNN -->`) markers inside the fixture files; any mismatch
+is reported and the exit status is non-zero.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from .engine import default_rules, registry, run_rules, self_test
+
+
+def parse_rule_args(args):
+    """Resolve --rules/--rule into an ordered, validated id list."""
+    rules = []
+    if args.rules:
+        rules.extend(r.strip() for r in args.rules.split(",") if r.strip())
+    for r in args.rule or []:
+        if r not in rules:
+            rules.append(r)
+    unknown = [r for r in rules if r not in registry()]
+    if unknown:
+        print(f"bayes-lint: unknown rule(s): {', '.join(unknown)}",
+              file=sys.stderr)
+        return None
+    return rules
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="bayes-lint",
+        description="rule-based static invariant checker for the "
+                    "BayesSuite tree (see docs/static-analysis.md)")
+    ap.add_argument("--root", default=".",
+                    help="repo root to lint (default: cwd)")
+    ap.add_argument("--rules",
+                    help="comma-separated rule ids (default: all text rules, "
+                         "plus R006 when --compiler is given)")
+    ap.add_argument("--rule", action="append", metavar="RNNN",
+                    help="run one rule; repeatable, unions with --rules")
+    ap.add_argument("--compiler",
+                    help="C++ compiler for the R006 standalone-header check")
+    ap.add_argument("--std", default="c++20",
+                    help="language standard for R006 (default: c++20)")
+    ap.add_argument("--obs-doc",
+                    help="override path of the observability catalogue "
+                         "(R004); used by drift tests")
+    ap.add_argument("--arch-doc",
+                    help="override path of the architecture doc holding the "
+                         "bayes-layers manifest (R010); used by drift tests")
+    ap.add_argument("--self-test", metavar="DIR",
+                    help="lint DIR and compare against EXPECT markers")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="print every rule id with its one-line summary")
+    args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule_id, rule in sorted(registry().items()):
+            print(f"{rule_id}  {rule.summary}")
+        return 0
+
+    if args.rules or args.rule:
+        rules = parse_rule_args(args)
+        if rules is None:
+            return 2
+    else:
+        rules = default_rules(with_compiler=bool(args.compiler))
+
+    if args.self_test:
+        return self_test(os.path.abspath(args.self_test),
+                         [r for r in rules if r != "R006"])
+
+    root = os.path.abspath(args.root)
+    _, findings = run_rules(root, rules, compiler=args.compiler,
+                            std=args.std, obs_doc=args.obs_doc,
+                            arch_doc=args.arch_doc)
+    for f in findings:
+        print(f)
+    print(f"bayes-lint: {len(findings)} finding(s) in {root}",
+          file=sys.stderr)
+    return 1 if findings else 0

@@ -1,0 +1,115 @@
+"""Rule registry and pass pipeline.
+
+A rule is a function `check(files, findings, ctx)` registered under a
+stable id with a one-line summary (shown by `--list-rules`). The engine
+runs the requested rules over one shared `discover()` pass, sorts and
+dedupes the findings, and hosts the fixture self-test harness.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from .source import EXPECT_RE, Finding, discover
+
+
+class Rule:
+    __slots__ = ("rule_id", "summary", "check", "needs_compiler")
+
+    def __init__(self, rule_id, summary, check, needs_compiler):
+        self.rule_id = rule_id
+        self.summary = summary
+        self.check = check
+        self.needs_compiler = needs_compiler
+
+
+_REGISTRY = {}
+
+
+def rule(rule_id, summary, needs_compiler=False):
+    """Decorator: register `check(files, findings, ctx)` under @p rule_id."""
+    def wrap(fn):
+        if rule_id in _REGISTRY:
+            raise ValueError(f"duplicate rule id {rule_id}")
+        _REGISTRY[rule_id] = Rule(rule_id, summary, fn, needs_compiler)
+        return fn
+    return wrap
+
+
+def registry():
+    """The id -> Rule map (importing the rules package populates it)."""
+    from . import rules  # noqa: F401  (import for registration side effect)
+    return _REGISTRY
+
+
+def default_rules(with_compiler):
+    return sorted(r.rule_id for r in registry().values()
+                  if with_compiler or not r.needs_compiler)
+
+
+def run_rules(root, rule_ids, compiler=None, std="c++20", obs_doc=None,
+              arch_doc=None):
+    files = discover(root)
+    ctx = {
+        "root": root,
+        "compiler": compiler,
+        "std": std,
+        "obs_doc": obs_doc or os.path.join(root, "docs", "observability.md"),
+        "arch_doc": arch_doc or os.path.join(root, "docs", "architecture.md"),
+    }
+    findings = []
+    rules = registry()
+    for rule_id in rule_ids:
+        rules[rule_id].check(files, findings, ctx)
+    findings.sort(key=Finding.key)
+    deduped = []
+    for f in findings:
+        if not deduped or f.key() != deduped[-1].key():
+            deduped.append(f)
+    return files, deduped
+
+
+def self_test(root, rule_ids):
+    """Compare findings against EXPECT markers in the fixture tree.
+
+    Exact-set semantics: every EXPECT must fire and nothing else may.
+    This is how tests/lint_fixtures/ proves each rule fires exactly
+    where intended.
+    """
+    files, findings = run_rules(root, rule_ids)
+    expected = set()
+    for sf in files:
+        for lineno, rule_ids_at in sf.expects.items():
+            for rule_id in rule_ids_at:
+                expected.add((sf.relpath, lineno, rule_id))
+    # Markdown fixtures (the R004 catalogue, the R010 layer manifest)
+    # are not C++ files; scan them for EXPECT markers directly.
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = sorted(dirnames)
+        for name in sorted(filenames):
+            if not name.endswith(".md"):
+                continue
+            rel = os.path.relpath(os.path.join(dirpath, name), root)
+            with open(os.path.join(dirpath, name), encoding="utf-8") as f:
+                for lineno, line in enumerate(f, 1):
+                    m = EXPECT_RE.search(line)
+                    if m:
+                        for rule_id in m.group(1).split():
+                            expected.add(
+                                (rel.replace(os.sep, "/"), lineno, rule_id))
+    actual = {f.key() for f in findings}
+    ok = True
+    for key in sorted(expected - actual):
+        ok = False
+        print("%s:%d: self-test: expected %s did not fire" % key)
+    for f in sorted(findings, key=Finding.key):
+        if f.key() not in expected:
+            ok = False
+            print(f"{f} (self-test: unexpected finding)")
+    for path, line, rule_id in sorted(expected & actual):
+        print(f"ok: {path}:{line}: {rule_id}")
+    n = len(expected & actual)
+    print(f"bayes-lint self-test: {n}/{len(expected)} expected findings "
+          f"fired, {len(actual - expected)} unexpected", file=sys.stderr)
+    return 0 if ok else 1

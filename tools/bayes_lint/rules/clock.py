@@ -1,0 +1,34 @@
+"""R012: direct std::chrono clock reads are confined to the Clock seam.
+
+Timing feeds the paper's measurements and the serving runtime's
+deadline/virtual-clock machinery. A stray `steady_clock::now()` is
+untestable (no virtual-clock replay) and unswappable; all wall-clock
+reads go through `support::Clock::now()` / `bayes::Timer`
+(src/support/timer.hpp), the one file allowed to touch std::chrono
+clocks directly.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..engine import rule
+from ..source import grep_rule, in_dirs
+
+R012_PAT = re.compile(
+    r"\b(?:steady_clock|system_clock|high_resolution_clock)"
+    r"\s*::\s*now\s*\(")
+R012_ALLOWED = {"src/support/timer.hpp"}
+
+
+@rule("R012", "std::chrono clock reads confined to support::Clock "
+              "(src/support/timer.hpp)")
+def rule_r012(files, findings, _ctx):
+    for sf in files:
+        if not in_dirs(sf.relpath, "src") or sf.relpath in R012_ALLOWED:
+            continue
+        grep_rule(sf, R012_PAT, "R012",
+                  "direct std::chrono clock read; route through "
+                  "support::Clock::now() / bayes::Timer "
+                  "(src/support/timer.hpp) so tests can install a "
+                  "virtual clock", findings)

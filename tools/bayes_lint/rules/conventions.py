@@ -1,0 +1,171 @@
+"""Repo-wide reproducibility conventions: R000-R005.
+
+R000 waiver hygiene, R001 thread ownership, R002 re-entrant lgamma,
+R003 seeded randomness, R004 metric-catalogue drift, R005 iostream.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+from ..engine import rule
+from ..source import Finding, grep_rule, in_dirs
+
+
+@rule("R000", "every waiver carries a justification")
+def rule_r000(files, findings, _ctx):
+    for sf in files:
+        for lineno, (rules, just) in sorted(sf.waivers.items()):
+            if not just:
+                findings.append(Finding(
+                    sf.relpath, lineno, "R000",
+                    "waiver without justification; write "
+                    "`// bayes-lint: allow("
+                    + ",".join(sorted(rules)) + "): <why>`"))
+
+
+# hardware_concurrency() is a capability query, not thread creation.
+R001_PAT = re.compile(
+    r"\bstd\s*::\s*j?thread\b(?!\s*::\s*hardware_concurrency)"
+    r"|\bpthread_create\b")
+R001_ALLOWED = {"src/support/thread_pool.hpp", "src/support/thread_pool.cpp"}
+
+
+@rule("R001", "no raw std::thread outside support::ThreadPool")
+def rule_r001(files, findings, _ctx):
+    for sf in files:
+        if in_dirs(sf.relpath, "tests"):
+            continue  # test code may spin raw threads to attack the pool
+        if sf.relpath in R001_ALLOWED:
+            continue
+        grep_rule(sf, R001_PAT, "R001",
+                  "raw std::thread; all threading must go through "
+                  "support::ThreadPool (src/support/thread_pool.hpp)",
+                  findings)
+
+
+# Qualified std::/global-:: calls, the glibc re-entrant entry points, and
+# the variants that have no safe wrapper. Unqualified `lgamma(` is allowed
+# inside src/math/ only, where it binds to bayes::math::lgamma (which
+# routes through lgammaSafe).
+R002_QUALIFIED = re.compile(
+    r"\bstd\s*::\s*(?:lgamma|lgammaf|lgammal|tgamma|tgammaf|tgammal)\s*\("
+    r"|(?<![\w])::\s*(?:lgamma|lgammaf|lgammal|tgamma|tgammaf|tgammal)\s*\("
+    r"|(?<![\w:.])(?:lgamma_r|lgammaf_r)\s*\(")
+R002_UNQUALIFIED = re.compile(
+    r"(?<![\w:.])(?:lgamma|lgammaf|lgammal|tgamma|tgammaf|tgammal)\s*\(")
+R002_ALLOWED = {"src/math/special.hpp"}
+
+
+@rule("R002", "no raw lgamma/tgamma family calls outside math::special")
+def rule_r002(files, findings, _ctx):
+    msg = ("raw lgamma/tgamma family call; use math::lgammaSafe / "
+           "math::lgamma (src/math/special.hpp) — glibc lgamma races on "
+           "the global signgam")
+    for sf in files:
+        if sf.relpath in R002_ALLOWED:
+            continue
+        grep_rule(sf, R002_QUALIFIED, "R002", msg, findings)
+        if not in_dirs(sf.relpath, "src/math"):
+            grep_rule(sf, R002_UNQUALIFIED, "R002", msg, findings)
+
+
+R003_PAT = re.compile(
+    r"\bstd\s*::\s*random_device\b"
+    r"|(?<![\w:.])random_device\b"
+    r"|(?<![\w:.])s?rand\s*\("
+    r"|(?:\bstd\s*::\s*|(?<![\w:.]))"
+    r"(?:mt19937(?:_64)?|minstd_rand0?|default_random_engine|ranlux\w+)\b")
+R003_ALLOWED = {"src/support/rng.hpp", "src/support/rng.cpp"}
+
+
+@rule("R003", "all randomness derives from a seeded bayes::Rng")
+def rule_r003(files, findings, _ctx):
+    for sf in files:
+        if in_dirs(sf.relpath, "tests") or sf.relpath in R003_ALLOWED:
+            continue
+        grep_rule(sf, R003_PAT, "R003",
+                  "nondeterministic/unmanaged randomness; all streams must "
+                  "derive from a seeded bayes::Rng (src/support/rng.hpp)",
+                  findings)
+
+
+R004_METRIC_PAT = re.compile(
+    r"\.\s*(?:counter|gauge|histogram)\s*\(\s*\"")
+R004_CATALOG_ROW = re.compile(r"^\|\s*`([^`]+)`\s*\|")
+
+
+def metric_literals(sf):
+    """Yield (lineno, name) for every metric-name literal in the file.
+    Names are read from the raw line (literals are blanked in stripped
+    text); the stripped line is used to locate the call site."""
+    for lineno, line in enumerate(sf.lines, 1):
+        for m in R004_METRIC_PAT.finditer(line):
+            raw = sf.raw_lines[lineno - 1]
+            lit = re.match(r'"([^"]*)"', raw[m.end() - 1:])
+            if lit:
+                yield lineno, lit.group(1)
+
+
+def parse_catalogue(doc_path):
+    """Names from the `## Metric catalogue` section of observability.md,
+    as {name: lineno}."""
+    names = {}
+    in_section = False
+    try:
+        with open(doc_path, encoding="utf-8") as f:
+            for lineno, line in enumerate(f, 1):
+                if line.startswith("## "):
+                    in_section = line.strip().lower() == "## metric catalogue"
+                    continue
+                if in_section:
+                    m = R004_CATALOG_ROW.match(line)
+                    if m and m.group(1).lower() != "name":
+                        names[m.group(1)] = lineno
+    except OSError as e:
+        raise SystemExit(f"bayes-lint: cannot read catalogue {doc_path}: {e}")
+    return names
+
+
+@rule("R004", "metric names and the observability.md catalogue stay in sync")
+def rule_r004(files, findings, ctx):
+    doc_path = ctx["obs_doc"]
+    if not os.path.isfile(doc_path):
+        return  # tree has no observability catalogue; nothing to check
+    catalogue = parse_catalogue(doc_path)
+    doc_rel = os.path.relpath(doc_path, ctx["root"]).replace(os.sep, "/")
+    used = {}
+    for sf in files:
+        if not in_dirs(sf.relpath, "src") or in_dirs(sf.relpath, "src/obs"):
+            continue
+        for lineno, name in metric_literals(sf):
+            used.setdefault(name, []).append((sf, lineno))
+    for name, sites in sorted(used.items()):
+        if name not in catalogue:
+            sf, lineno = sites[0]
+            if not sf.waived(lineno, "R004"):
+                findings.append(Finding(
+                    sf.relpath, lineno, "R004",
+                    f"metric '{name}' is not in the {doc_rel} catalogue; "
+                    "document it or rename"))
+    for name, lineno in sorted(catalogue.items(), key=lambda kv: kv[1]):
+        if name not in used:
+            findings.append(Finding(
+                doc_rel, lineno, "R004",
+                f"catalogue row '{name}' matches no metric emitted from "
+                "src/; remove the row or restore the metric"))
+
+
+R005_PAT = re.compile(r"^\s*#\s*include\s*<iostream>")
+
+
+@rule("R005", "no <iostream> in src/ library code")
+def rule_r005(files, findings, _ctx):
+    for sf in files:
+        if not in_dirs(sf.relpath, "src"):
+            continue
+        grep_rule(sf, R005_PAT, "R005",
+                  "<iostream> in library code; iostream globals are shared "
+                  "mutable state — take a std::ostream& or use support "
+                  "facilities instead", findings)

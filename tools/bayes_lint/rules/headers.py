@@ -1,0 +1,45 @@
+"""R006: every src header compiles as a standalone translation unit.
+
+Needs a compiler (`--compiler`), so it is excluded from the default rule
+set, the self-test, and trees without a toolchain.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import tempfile
+
+from ..engine import rule
+from ..source import Finding, in_dirs
+
+
+@rule("R006", "every src/**/*.hpp compiles standalone (needs --compiler)",
+      needs_compiler=True)
+def rule_r006(files, findings, ctx):
+    compiler = ctx.get("compiler")
+    if not compiler:
+        return
+    headers = [sf for sf in files
+               if in_dirs(sf.relpath, "src") and sf.relpath.endswith(".hpp")]
+    srcdir = os.path.join(ctx["root"], "src")
+    with tempfile.TemporaryDirectory(prefix="bayes-lint-r006-") as tmp:
+        tu = os.path.join(tmp, "header_tu.cpp")
+        for sf in headers:
+            rel_from_src = os.path.relpath(
+                os.path.join(ctx["root"], sf.relpath), srcdir)
+            with open(tu, "w", encoding="utf-8") as f:
+                f.write(f'#include "{rel_from_src.replace(os.sep, "/")}"\n')
+            cmd = [compiler, "-std=" + ctx["std"], "-fsyntax-only",
+                   "-I", srcdir, "-Wall", "-Wextra", tu]
+            proc = subprocess.run(cmd, capture_output=True, text=True)
+            if proc.returncode != 0:
+                first_error = next(
+                    (ln for ln in proc.stderr.splitlines() if "error" in ln),
+                    proc.stderr.strip().splitlines()[0]
+                    if proc.stderr.strip() else "compiler failed")
+                if not sf.waived(1, "R006"):
+                    findings.append(Finding(
+                        sf.relpath, 1, "R006",
+                        "header does not compile standalone: "
+                        f"{first_error.strip()}"))

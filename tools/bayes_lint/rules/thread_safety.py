@@ -1,0 +1,60 @@
+"""R011: every mutex member in src/ is referenced by a thread-safety
+annotation.
+
+The repo compiles with clang's `-Wthread-safety` as an error, but the
+analysis is opt-in per declaration: an unannotated mutex silently gets
+zero checking. This rule closes that hole statically — every
+`std::mutex` family or `support::Mutex` member must appear in at least
+one `BAYES_*` annotation argument in the same file (usually
+`BAYES_GUARDED_BY(<member>)` on the state it guards), or carry a
+justified waiver. See src/support/thread_safety.hpp.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..engine import rule
+from ..source import Finding, in_dirs
+
+# Member/variable declarations of lockable types. Deliberately narrow:
+# qualified std mutexes, or the annotated support::Mutex wrapper (bare or
+# qualified). `MutexLock`, references, and template arguments do not
+# match (no `<type> <name> ;/={` shape).
+MUTEX_DECL = re.compile(
+    r"\b(?:std\s*::\s*"
+    r"(?:recursive_|shared_|timed_|recursive_timed_|shared_timed_)?mutex"
+    r"|(?:(?:bayes\s*::\s*)?support\s*::\s*)?Mutex)"
+    r"\s+(\w+)\s*[;={]")
+
+BAYES_ANNOT = re.compile(
+    r"\bBAYES_(?:GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED"
+    r"|ACQUIRE|ACQUIRE_SHARED|RELEASE|RELEASE_SHARED|TRY_ACQUIRE"
+    r"|EXCLUDES|RETURN_CAPABILITY)\s*\(([^)]*)\)")
+
+
+@rule("R011", "every mutex member in src/ is covered by a BAYES_* "
+              "annotation")
+def rule_r011(files, findings, _ctx):
+    for sf in files:
+        if not in_dirs(sf.relpath, "src"):
+            continue
+        text = "\n".join(sf.lines)
+        declared = [(m.group(1), text.count("\n", 0, m.start()) + 1)
+                    for m in MUTEX_DECL.finditer(text)]
+        if not declared:
+            continue
+        referenced = set()
+        for m in BAYES_ANNOT.finditer(text):
+            referenced.update(re.findall(r"\w+", m.group(1)))
+        for name, lineno in declared:
+            if name in referenced:
+                continue
+            if not sf.waived(lineno, "R011"):
+                findings.append(Finding(
+                    sf.relpath, lineno, "R011",
+                    f"mutex '{name}' is referenced by no thread-safety "
+                    "annotation; clang's analysis checks nothing for it. "
+                    f"Mark the guarded state BAYES_GUARDED_BY({name}) "
+                    "(src/support/thread_safety.hpp) or waive with "
+                    "justification"))

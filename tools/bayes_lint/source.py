@@ -1,0 +1,249 @@
+"""Shared source model: discovery, comment stripping, waivers, EXPECTs.
+
+Every rule sees the tree through this module, so the waiver contract and
+the comment/string-stripping semantics are defined exactly once.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+
+CXX_EXTENSIONS = (".hpp", ".h", ".cpp", ".cc", ".cxx")
+SCAN_DIRS = ("src", "bench", "examples", "tools", "tests")
+SKIP_DIR_PARTS = {"lint_fixtures", "__pycache__"}
+
+WAIVER_RE = re.compile(
+    r"(?://|<!--)\s*bayes-lint:\s*allow\(\s*([A-Z0-9, ]+?)\s*\)\s*:?\s*(.*)")
+EXPECT_RE = re.compile(r"(?://|<!--)\s*EXPECT:\s*([A-Z0-9 ]+?)\s*(?:-->)?\s*$")
+
+
+class Finding:
+    __slots__ = ("path", "line", "rule", "message")
+
+    def __init__(self, path, line, rule, message):
+        self.path = path          # repo-root-relative, forward slashes
+        self.line = line          # 1-based
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return (self.path, self.line, self.rule)
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving newlines
+    and column positions, so rule regexes never match inside either."""
+    out = []
+    i, n = 0, len(text)
+    state = "code"  # code | line_comment | block_comment | string | char | raw
+    raw_delim = ""
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if state == "code":
+            if c == "/" and nxt == "/":
+                state = "line_comment"
+                out.append("  ")
+                i += 2
+            elif c == "/" and nxt == "*":
+                state = "block_comment"
+                out.append("  ")
+                i += 2
+            elif c == 'R' and nxt == '"' and (i == 0 or not (
+                    text[i - 1].isalnum() or text[i - 1] == "_")):
+                m = re.match(r'R"([^()\\ \n]*)\(', text[i:])
+                if m:
+                    raw_delim = ")" + m.group(1) + '"'
+                    state = "raw"
+                    out.append(" " * m.end())
+                    i += m.end()
+                else:
+                    out.append(c)
+                    i += 1
+            elif c == '"':
+                state = "string"
+                out.append('"')
+                i += 1
+            elif c == "'":
+                state = "char"
+                out.append("'")
+                i += 1
+            else:
+                out.append(c)
+                i += 1
+        elif state == "line_comment":
+            if c == "\n":
+                state = "code"
+                out.append("\n")
+            else:
+                out.append(" ")
+            i += 1
+        elif state == "block_comment":
+            if c == "*" and nxt == "/":
+                state = "code"
+                out.append("  ")
+                i += 2
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state == "raw":
+            if text.startswith(raw_delim, i):
+                state = "code"
+                out.append(" " * len(raw_delim))
+                i += len(raw_delim)
+            else:
+                out.append("\n" if c == "\n" else " ")
+                i += 1
+        elif state in ("string", "char"):
+            quote = '"' if state == "string" else "'"
+            if c == "\\" and nxt:
+                out.append("  ")
+                i += 2
+            elif c == quote:
+                state = "code"
+                out.append(quote)
+                i += 1
+            elif c == "\n":  # unterminated; bail to code
+                state = "code"
+                out.append("\n")
+                i += 1
+            else:
+                out.append(" ")
+                i += 1
+    return "".join(out)
+
+
+def parse_waiver_line(raw):
+    """(rules set, justification) for a waiver on @p raw, else None.
+
+    The justification stops at a trailing comment opener (a fixture
+    EXPECT marker is not a justification) and sheds any trailing `-->`
+    from HTML-comment waivers in Markdown.
+    """
+    m = WAIVER_RE.search(raw)
+    if not m:
+        return None
+    rules = {r.strip() for r in m.group(1).split(",") if r.strip()}
+    just = re.split(r"//|<!--", m.group(2))[0]
+    just = just.replace("-->", "").strip()
+    return rules, just
+
+
+class SourceFile:
+    """One scanned file: raw lines, stripped lines, waivers, EXPECTs."""
+
+    def __init__(self, root, relpath):
+        self.relpath = relpath.replace(os.sep, "/")
+        with open(os.path.join(root, relpath), encoding="utf-8",
+                  errors="replace") as f:
+            text = f.read()
+        self.raw_lines = text.splitlines()
+        self.lines = strip_comments_and_strings(text).splitlines()
+        # waivers[line] = (set of rule ids, justification)
+        self.waivers = {}
+        self.expects = {}  # line -> set of rule ids
+        for lineno, raw in enumerate(self.raw_lines, 1):
+            w = parse_waiver_line(raw)
+            if w:
+                self.waivers[lineno] = w
+            m = EXPECT_RE.search(raw)
+            if m:
+                self.expects[lineno] = set(m.group(1).split())
+
+    def waived(self, lineno, rule):
+        """A waiver covers its own line, and the following line when the
+        waiver stands alone on a comment line."""
+        for wline in (lineno, lineno - 1):
+            w = self.waivers.get(wline)
+            if w and rule in w[0] and w[1]:
+                return True
+        return False
+
+
+def discover(root):
+    files = []
+    for top in SCAN_DIRS:
+        topdir = os.path.join(root, top)
+        if not os.path.isdir(topdir):
+            continue
+        for dirpath, dirnames, filenames in os.walk(topdir):
+            dirnames[:] = [d for d in sorted(dirnames)
+                           if d not in SKIP_DIR_PARTS]
+            for name in sorted(filenames):
+                if name.endswith(CXX_EXTENSIONS):
+                    rel = os.path.relpath(os.path.join(dirpath, name), root)
+                    files.append(SourceFile(root, rel))
+    return files
+
+
+def in_dirs(path, *tops):
+    return any(path == t or path.startswith(t + "/") for t in tops)
+
+
+def grep_rule(sf, pattern, rule, message, findings):
+    for lineno, line in enumerate(sf.lines, 1):
+        if pattern.search(line):
+            if not sf.waived(lineno, rule):
+                findings.append(Finding(sf.relpath, lineno, rule, message))
+
+
+def loop_regions(text):
+    """Char-offset (start, end) spans of loop bodies in stripped text.
+
+    A braced body spans its `{...}`; a braceless body spans from the
+    first token after the loop header to the terminating `;`. Nested
+    loops yield overlapping spans, which is fine — membership in any
+    span marks a position as inside a loop.
+    """
+    loop_head = re.compile(r"\b(?:for|while)\s*\(")
+    regions = []
+    n = len(text)
+    search_from = 0
+    while True:
+        m = loop_head.search(text, search_from)
+        if not m:
+            return regions
+        search_from = m.end()
+        # Skip past the loop-header parens.
+        i, pdepth = m.end(), 1
+        while i < n and pdepth:
+            if text[i] == "(":
+                pdepth += 1
+            elif text[i] == ")":
+                pdepth -= 1
+            i += 1
+        while i < n and text[i].isspace():
+            i += 1
+        if i < n and text[i] == "{":
+            start, bdepth = i, 1
+            i += 1
+            while i < n and bdepth:
+                if text[i] == "{":
+                    bdepth += 1
+                elif text[i] == "}":
+                    bdepth -= 1
+                i += 1
+            regions.append((start, i))
+        else:
+            # Braceless body: one statement, up to the `;` outside any
+            # nested parens/braces it opens itself.
+            start, bdepth, pdepth = i, 0, 0
+            while i < n:
+                c = text[i]
+                if c == "(":
+                    pdepth += 1
+                elif c == ")":
+                    pdepth -= 1
+                elif c == "{":
+                    bdepth += 1
+                elif c == "}":
+                    bdepth -= 1
+                elif c == ";" and bdepth == 0 and pdepth == 0:
+                    i += 1
+                    break
+                i += 1
+            regions.append((start, i))
