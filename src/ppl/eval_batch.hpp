@@ -88,6 +88,24 @@ class EvalBatch
             data_[d * lanes_ + k] = q[d];
     }
 
+    /**
+     * Pack a round: reshape to D×points.size() and scatter each
+     * pointed-to vector into its lane, in order. The batched phased
+     * executor uses this to assemble heterogeneous rounds — the
+     * chains' mandatory pending points followed by speculative
+     * prefetch lanes — into one shared-data pass; lane results are
+     * bit-equal to single evaluations regardless of which lanes ride
+     * along (the speculation soundness premise, see test_eval_batch).
+     */
+    void
+    assignPoints(std::size_t dim,
+                 std::span<const std::vector<double>* const> points)
+    {
+        resize(dim, points.size());
+        for (std::size_t k = 0; k < points.size(); ++k)
+            setPoint(k, *points[k]);
+    }
+
     /** Gather lane @p k into a flat D-dim vector. */
     void
     getPoint(std::size_t k, std::vector<double>& q) const

@@ -1,0 +1,104 @@
+#include "samplers/prefetch.hpp"
+
+#include <cstring>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace bayes::samplers::prefetch {
+namespace {
+
+/** Speculation telemetry (catalogued in docs/observability.md). */
+struct SpecMetrics
+{
+    obs::Counter& issued = obs::Registry::global().counter("spec.issued");
+    obs::Counter& hits = obs::Registry::global().counter("spec.hits");
+    obs::Counter& wasted = obs::Registry::global().counter("spec.wasted");
+
+    static SpecMetrics& get()
+    {
+        static SpecMetrics* m = new SpecMetrics; // leaked, like Registry
+        return *m;
+    }
+};
+
+} // namespace
+
+bool
+bitsEqual(std::span<const double> a, std::span<const double> b)
+{
+    if (a.size() != b.size())
+        return false;
+    return a.empty()
+        || std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+std::size_t
+Ledger::issue(std::vector<double> point)
+{
+    SpecMetrics::get().issued.add();
+    entries_.push_back(CachedEval{std::move(point), 0.0, {}, false});
+    return entries_.size() - 1;
+}
+
+const CachedEval*
+Ledger::commit(std::span<const double> point)
+{
+    for (auto& e : entries_) {
+        if (e.consumed || !bitsEqual(e.point, point))
+            continue;
+        e.consumed = true;
+        SpecMetrics::get().hits.add();
+        return &e;
+    }
+    return nullptr;
+}
+
+void
+Ledger::abort()
+{
+    std::uint64_t wasted = 0;
+    for (const auto& e : entries_)
+        wasted += e.consumed ? 0 : 1;
+    if (wasted > 0)
+        SpecMetrics::get().wasted.add(wasted);
+    entries_.clear();
+}
+
+void
+planMhTree(const std::vector<double>& q, const std::vector<double>& pending,
+           double scale, Rng replica, int depth, Ledger& ledger,
+           std::vector<SpecLane>& lanes)
+{
+    const std::size_t dim = q.size();
+    // States a depth-j path can sit at: the current state (every level
+    // so far rejected), plus every proposal that could have been
+    // accepted along the way. The set doubles per level.
+    std::vector<std::vector<double>> states;
+    states.reserve(std::size_t{2} << depth);
+    states.push_back(q);
+    states.push_back(pending);
+
+    std::vector<double> noise(dim);
+    for (int level = 0; level < depth; ++level) {
+        // The real chain resolves the previous proposal before drawing
+        // the next: one accept uniform (predicted feasible), then dim
+        // increment normals — shared by every node of this level.
+        replica.uniform();
+        for (double& n : noise)
+            n = replica.normal();
+
+        const std::size_t parents = states.size();
+        for (std::size_t s = 0; s < parents; ++s) {
+            std::vector<double> child(dim);
+            // Same expression as MhSampler::propose — q + scale*normal
+            // — so a realized branch byte-matches the real proposal.
+            for (std::size_t d = 0; d < dim; ++d)
+                child[d] = states[s][d] + scale * noise[d];
+            lanes.push_back(SpecLane{&ledger, ledger.issue(child)});
+            states.push_back(std::move(child));
+        }
+    }
+}
+
+} // namespace bayes::samplers::prefetch

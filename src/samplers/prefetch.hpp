@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Speculative MCMC support: parallel predictive prefetching for the
+ * pooled batched executor (Angelino et al., "Accelerating MCMC via
+ * Parallel Predictive Prefetching").
+ *
+ * MCMC is serially dependent — iteration t+1's proposal depends on
+ * whether iteration t accepted — but with a deterministic RNG the
+ * *candidate* future points are computable ahead of time: a replica of
+ * the chain's stream (Rng::replicaFork) pre-generates the proposal
+ * increments, and the accept/reject tree enumerates every state those
+ * increments can apply to. The executor packs those candidate points
+ * as extra lanes of the round's EvalBatch (one shared-data pass serves
+ * them all) and records the results here.
+ *
+ * Correctness does not rest on predicting the accept/reject outcomes:
+ * commitment is keyed on the *bit pattern* of the realized point. When
+ * the chain's next pending point byte-matches a cached entry, the
+ * cached (value, gradient) is committed through the exact same apply
+ * path a fresh evaluation would take — and batched lanes are bit-equal
+ * to single evaluations regardless of batch width (see
+ * test_eval_batch), so draws are byte-identical to sequential
+ * unbatched execution by construction. A mispredicted branch (or a
+ * mispredicted feasibility short-circuit in the RNG replay) simply
+ * never matches and is discarded as waste.
+ *
+ * Accounting invariant: every issued entry is eventually either
+ * committed (`spec.hits`) or discarded (`spec.wasted`), so
+ * `spec.hits + spec.wasted == spec.issued` at the end of any run
+ * (tested in test_obs; catalogued in docs/observability.md).
+ */
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace bayes::samplers::prefetch {
+
+/** One speculatively evaluated point and its cached results. */
+struct CachedEval
+{
+    /** The candidate unconstrained point (the bit-exact cache key). */
+    std::vector<double> point;
+    /** Log density delivered by the batched evaluation. */
+    double logProb = 0.0;
+    /** Gradient at point (filled for HMC lanes, empty for MH). */
+    std::vector<double> grad;
+    /** Committed to a chain (hit)? Unconsumed entries count as waste. */
+    bool consumed = false;
+};
+
+/** Byte-level point equality — the speculation commit test. Bitwise
+    comparison is deliberately stricter than operator== (it separates
+    -0.0 from 0.0 and never equates NaNs): a point that is not the
+    bit-for-bit result of the chain's own arithmetic must miss. */
+bool bitsEqual(std::span<const double> a, std::span<const double> b);
+
+/**
+ * Per-chain speculation ledger: candidate points issued into a batched
+ * round, awaiting commit (the chain realizes the point) or abort (the
+ * chain went elsewhere / the run ended). Owned by the batched phased
+ * executor; maintains the spec.issued/hits/wasted counters.
+ */
+class Ledger
+{
+  public:
+    /** Record a candidate point; returns its stable entry index. */
+    std::size_t issue(std::vector<double> point);
+
+    /**
+     * Look up @p point among unconsumed entries. On a byte-exact match
+     * the entry is marked consumed (a hit) and returned; otherwise
+     * nullptr — the caller evaluates the point normally and replans.
+     */
+    const CachedEval* commit(std::span<const double> point);
+
+    /** Entry access for the executor's result scatter. */
+    CachedEval& entry(std::size_t index) { return entries_[index]; }
+
+    /** Discard all entries; unconsumed ones are counted as wasted. */
+    void abort();
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+
+  private:
+    std::vector<CachedEval> entries_;
+};
+
+/** One speculative lane of a batched round: where to deliver results. */
+struct SpecLane
+{
+    Ledger* ledger = nullptr;
+    std::size_t entry = 0;
+};
+
+/**
+ * Pre-generate the depth-@p depth Metropolis accept/reject tree below
+ * the pending proposal of a chain at state @p q.
+ *
+ * @p replica must be a replicaFork() of the chain's RNG taken *after*
+ * the pending proposal's increments were drawn; the planner replays
+ * the chain's future consumption (accept uniform, then dim proposal
+ * normals, per level) on it. All 2^(j-1) tree nodes of level j share
+ * the level's increment vector — they differ only in the state it is
+ * added to — so the full tree collapses to a doubling state set and
+ * issues 2^(depth+1) - 2 candidate points into @p ledger (appended to
+ * @p lanes for the evaluation scatter).
+ *
+ * Feasibility short-circuits are predicted optimistically: the replay
+ * assumes every speculated density is finite (the accept uniform is
+ * consumed). If the chain hits an infeasible point, the replayed
+ * stream diverges, subsequent lookups miss, and the tree is replanned
+ * from the real stream — waste, never wrong draws.
+ */
+void planMhTree(const std::vector<double>& q,
+                const std::vector<double>& pending, double scale,
+                Rng replica, int depth, Ledger& ledger,
+                std::vector<SpecLane>& lanes);
+
+} // namespace bayes::samplers::prefetch

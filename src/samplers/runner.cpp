@@ -10,6 +10,7 @@
 #include "samplers/dual_averaging.hpp"
 #include "samplers/hmc.hpp"
 #include "samplers/mh.hpp"
+#include "samplers/prefetch.hpp"
 #include "samplers/nuts.hpp"
 #include "samplers/slice.hpp"
 #include "support/stats.hpp"
@@ -159,6 +160,34 @@ class ChainState
     {
         hmc_.applyEval(phase_, logProb, grad);
         ++extGradEvals_;
+    }
+
+    // -- Speculation fork points (samplers::prefetch) -----------------
+    // Called by the batched executor after mhBegin()/hmcBegin(): both
+    // hand a replicaFork() of the chain's stream — taken past the
+    // pending proposal's draws — to the kernel's speculation hook, so
+    // the candidate points are the bit-exact futures of this chain.
+
+    /** Issue the depth-d MH accept/reject tree below the pending
+        proposal into @p ledger. */
+    void
+    mhSpeculate(int depth, prefetch::Ledger& ledger,
+                std::vector<prefetch::SpecLane>& lanes)
+    {
+        mh_.speculate(z_.q, proposal_, rng_.replicaFork(), depth, ledger,
+                      lanes);
+    }
+
+    /** Issue the predicted reject-branch first position of the next
+        HMC iteration into @p ledger. */
+    void
+    hmcSpeculate(prefetch::Ledger& ledger,
+                 std::vector<prefetch::SpecLane>& lanes)
+    {
+        std::vector<double> point;
+        hmc_.speculateRejectBranch(z_, rng_.replicaFork(), point);
+        lanes.push_back(
+            prefetch::SpecLane{&ledger, ledger.issue(std::move(point))});
     }
 
     /** Close the HMC iteration (accept/reject) and record the draw. */
@@ -446,6 +475,20 @@ struct BatchMetrics
  * exactly the unbatched order, so draws are byte-identical to the
  * sequential schedule — the executor only changes who performs the
  * evaluation, not what is evaluated.
+ *
+ * With Config::speculationDepth > 0 the rounds also carry speculative
+ * lanes (samplers::prefetch): each chain's predicted future points
+ * ride the same shared-data pass, and a chain whose next pending point
+ * byte-matches a cached entry commits the cached results through the
+ * identical apply path instead of occupying a mandatory lane. For MH
+ * the full depth-d accept/reject tree is planned on every miss, so in
+ * steady state one evaluation pass serves d+1 rounds (the d successor
+ * rounds resolve entirely from cache and skip their pass); for HMC the
+ * predictable branch is the next iteration's reject-side first
+ * leapfrog position, which fills otherwise-idle lanes of the round's
+ * first pass. Monitor cadence is untouched — every chain still
+ * advances exactly one iteration per round — so stop decisions stay
+ * byte-identical too.
  */
 RunResult
 runBatchedPhased(support::ThreadPool& pool, const ppl::Model& model,
@@ -469,12 +512,18 @@ runBatchedPhased(support::ThreadPool& pool, const ppl::Model& model,
 
     ppl::Evaluator sharedEval(model);
     const std::size_t dim = sharedEval.dim();
+    const int depth = config.speculationDepth;
     ppl::EvalBatch batch;
     ppl::EvalBatch grads;
     std::vector<double> lp;
     std::vector<double> laneGrad;
     std::vector<ChainState*> pending;
     pending.reserve(states.size());
+    std::vector<prefetch::Ledger> ledgers(depth > 0 ? states.size() : 0);
+    std::vector<prefetch::SpecLane> specLanes;
+    std::vector<const std::vector<double>*> lanePoints;
+    std::vector<std::size_t> mandatory;
+    std::vector<double> mhPendingLp(states.size());
 
     std::vector<ChainResult> view(states.size());
     std::vector<std::uint64_t> gradEvals(states.size());
@@ -484,35 +533,101 @@ runBatchedPhased(support::ThreadPool& pool, const ppl::Model& model,
         {
             obs::Span span("sampler.round");
             if (config.algorithm == Algorithm::Mh) {
-                batch.resize(dim, states.size());
-                lp.resize(states.size());
+                // Open every chain and try to serve its pending
+                // proposal from the speculation ledger; misses become
+                // mandatory lanes and trigger a fresh depth-d plan.
+                mandatory.clear();
+                specLanes.clear();
                 for (std::size_t c = 0; c < states.size(); ++c) {
                     states[c]->mhBegin();
-                    batch.setPoint(c, states[c]->pendingProposal());
+                    const prefetch::CachedEval* hit = depth > 0
+                        ? ledgers[c].commit(states[c]->pendingProposal())
+                        : nullptr;
+                    if (hit)
+                        mhPendingLp[c] = hit->logProb;
+                    else
+                        mandatory.push_back(c);
                 }
-                sharedEval.logProbBatch(batch, lp);
-                ++passes;
+                for (const std::size_t c : mandatory) {
+                    if (depth <= 0)
+                        continue;
+                    ledgers[c].abort();
+                    states[c]->mhSpeculate(depth, ledgers[c], specLanes);
+                }
+                lanePoints.clear();
+                for (const std::size_t c : mandatory)
+                    lanePoints.push_back(&states[c]->pendingProposal());
+                for (const auto& s : specLanes)
+                    lanePoints.push_back(&s.ledger->entry(s.entry).point);
+                if (!lanePoints.empty()) {
+                    batch.assignPoints(dim, lanePoints);
+                    lp.resize(lanePoints.size());
+                    sharedEval.logProbBatch(batch, lp);
+                    ++passes;
+                    std::size_t l = 0;
+                    for (const std::size_t c : mandatory)
+                        mhPendingLp[c] = lp[l++];
+                    for (const auto& s : specLanes)
+                        s.ledger->entry(s.entry).logProb = lp[l++];
+                }
                 for (std::size_t c = 0; c < states.size(); ++c)
-                    states[c]->mhFinish(lp[c]);
+                    states[c]->mhFinish(mhPendingLp[c]);
             } else {
                 for (auto& chain : states)
                     chain->hmcBegin();
+                bool firstPass = true;
                 for (;;) {
                     pending.clear();
-                    for (auto& chain : states)
-                        if (chain->hmcPrepare())
-                            pending.push_back(chain.get());
-                    if (pending.empty())
+                    specLanes.clear();
+                    for (std::size_t c = 0; c < states.size(); ++c) {
+                        // A cache hit advances the step in place and
+                        // the chain immediately prepares its next one,
+                        // all within the same gather.
+                        while (states[c]->hmcPrepare()) {
+                            const prefetch::CachedEval* hit = depth > 0
+                                ? ledgers[c].commit(
+                                      states[c]->pendingPosition())
+                                : nullptr;
+                            if (!hit) {
+                                pending.push_back(states[c].get());
+                                break;
+                            }
+                            states[c]->hmcApplyEval(hit->logProb,
+                                                    hit->grad);
+                        }
+                    }
+                    if (depth > 0 && firstPass) {
+                        // Stale predictions (the chain accepted) are
+                        // waste; reissue next-iteration predictions
+                        // into this round's first pass.
+                        for (std::size_t c = 0; c < states.size(); ++c) {
+                            ledgers[c].abort();
+                            states[c]->hmcSpeculate(ledgers[c], specLanes);
+                        }
+                    }
+                    firstPass = false;
+                    if (pending.empty() && specLanes.empty())
                         break;
-                    batch.resize(dim, pending.size());
-                    lp.resize(pending.size());
-                    for (std::size_t l = 0; l < pending.size(); ++l)
-                        batch.setPoint(l, pending[l]->pendingPosition());
+                    lanePoints.clear();
+                    for (const ChainState* chain : pending)
+                        lanePoints.push_back(&chain->pendingPosition());
+                    for (const auto& s : specLanes)
+                        lanePoints.push_back(
+                            &s.ledger->entry(s.entry).point);
+                    batch.assignPoints(dim, lanePoints);
+                    lp.resize(lanePoints.size());
                     sharedEval.logProbGradBatch(batch, lp, grads);
                     ++passes;
                     for (std::size_t l = 0; l < pending.size(); ++l) {
                         grads.getPoint(l, laneGrad);
                         pending[l]->hmcApplyEval(lp[l], laneGrad);
+                    }
+                    for (std::size_t i = 0; i < specLanes.size(); ++i) {
+                        prefetch::CachedEval& e =
+                            specLanes[i].ledger->entry(specLanes[i].entry);
+                        const std::size_t l = pending.size() + i;
+                        e.logProb = lp[l];
+                        grads.getPoint(l, e.grad);
                     }
                 }
                 for (auto& chain : states)
@@ -527,6 +642,11 @@ runBatchedPhased(support::ThreadPool& pool, const ppl::Model& model,
                 == MonitorAction::Stop)
             break;
     }
+    // Entries still in flight when the run ends (or stops early) were
+    // never realized: account them as waste so hits + wasted == issued
+    // holds over any run.
+    for (auto& ledger : ledgers)
+        ledger.abort();
     return collect(states);
 }
 
@@ -567,6 +687,11 @@ run(const ppl::Model& model, const Config& config,
     BAYES_CHECK(config.execution.workers >= 0,
                 "pool worker count must be >= 0, got "
                     << config.execution.workers);
+    // The MH speculation tree issues 2^(d+1)-2 lanes per chain; cap the
+    // depth where the tree would dwarf any realistic batch width.
+    BAYES_CHECK(config.speculationDepth >= 0 && config.speculationDepth <= 8,
+                "speculation depth must be in [0, 8], got "
+                    << config.speculationDepth);
 
     obs::Span runSpan("sampler.run");
     RunnerMetrics::get().runs.add();

@@ -91,6 +91,17 @@ struct Config
      * ablation knob for the batching experiments.
      */
     bool batchEval = true;
+    /**
+     * Speculative prefetching depth (0 = off). Active in Pool mode
+     * with batchEval on: each batched round also evaluates the
+     * accept/reject descendants of every chain's pending proposal
+     * (MH: the full depth-d tree; HMC: the reject branch one
+     * iteration ahead) from replica RNG streams, committing cached
+     * results when the chain realizes a predicted point. Draws are
+     * byte-identical at every depth — mispredictions only cost
+     * wasted lanes (see samplers::prefetch and docs/architecture.md).
+     */
+    int speculationDepth = 0;
     /** Base RNG seed; chain c uses the c-th fork of this stream. */
     std::uint64_t seed = 20190331;
 

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * The determinism sweep (ctest label: determinism): drives the shared
+ * harness across workloads × algorithms × seeds × execution policies ×
+ * batchEval × speculation depths and asserts every cell's draws are
+ * byte-identical to the sequential unbatched reference. This is the
+ * acceptance gate for speculative prefetching — at any depth the
+ * executor must produce the same bits it would have produced with
+ * speculation off, with mispredictions surfacing only as wasted lanes
+ * (obs counters, covered in test_obs), never as different draws.
+ */
+#include <gtest/gtest.h>
+
+#include "determinism_harness.hpp"
+#include "samplers/runner.hpp"
+#include "workloads/suite.hpp"
+
+namespace bayes {
+namespace {
+
+samplers::Config
+sweepConfig(samplers::Algorithm algo, std::uint64_t seed)
+{
+    samplers::Config cfg;
+    cfg.algorithm = algo;
+    cfg.chains = 3;
+    cfg.iterations = 36;
+    cfg.warmup = 18;
+    cfg.hmcLeapfrogSteps = 8;
+    cfg.seed = seed;
+    return cfg;
+}
+
+TEST(Determinism, DrawsAreByteIdenticalAcrossPolicyAndDepthSweep)
+{
+    for (const char* name : {"ad", "12cities"}) {
+        const auto wl = workloads::makeWorkload(name, 0.1);
+        for (const auto algo :
+             {samplers::Algorithm::Mh, samplers::Algorithm::Hmc}) {
+            for (const std::uint64_t seed : {777ull, 20190331ull}) {
+                SCOPED_TRACE(::testing::Message()
+                             << name << " algo "
+                             << samplers::algorithmName(algo) << " seed "
+                             << seed);
+                harness::expectPolicyInvariantDraws(
+                    *wl, sweepConfig(algo, seed), {0, 1, 2, 3});
+            }
+        }
+    }
+}
+
+TEST(Determinism, StopIterationIsDepthInvariant)
+{
+    // A monitor that stops mid-run must fire at the same round, with
+    // the same delivered draws, whether or not speculative work was in
+    // flight — aborted ledgers may never leak into chain state.
+    const auto wl = workloads::makeWorkload("ad", 0.1);
+    auto cfg = sweepConfig(samplers::Algorithm::Mh, 777);
+    cfg.iterations = 60;
+    cfg.warmup = 20;
+    const samplers::IterationMonitor stopAt13 =
+        [](const samplers::MonitorContext& ctx) {
+            return ctx.round >= 13 ? samplers::MonitorAction::Stop
+                                   : samplers::MonitorAction::Continue;
+        };
+    harness::expectPolicyInvariantDraws(*wl, cfg, {0, 1, 2, 3}, stopAt13);
+
+    cfg.execution = samplers::ExecutionPolicy::pool(2);
+    cfg.batchEval = true;
+    cfg.speculationDepth = 3;
+    const auto stopped = samplers::run(*wl, cfg, stopAt13);
+    for (const auto& chain : stopped.chains)
+        EXPECT_EQ(chain.draws.size(), 13u);
+}
+
+TEST(Determinism, NonSpeculatingAlgorithmsStayPolicyInvariant)
+{
+    // NUTS and slice take the unbatched phased path regardless of
+    // batchEval/speculationDepth; the knobs must be inert for them.
+    const auto wl = workloads::makeWorkload("ad", 0.1);
+    for (const auto algo :
+         {samplers::Algorithm::Nuts, samplers::Algorithm::Slice}) {
+        SCOPED_TRACE(samplers::algorithmName(algo));
+        harness::expectPolicyInvariantDraws(
+            *wl, sweepConfig(algo, 777), {0, 2});
+    }
+}
+
+TEST(Determinism, SpeculationDepthValidation)
+{
+    const auto wl = workloads::makeWorkload("ad", 0.1);
+    auto cfg = sweepConfig(samplers::Algorithm::Mh, 777);
+    cfg.speculationDepth = -1;
+    EXPECT_THROW(samplers::run(*wl, cfg), Error);
+    cfg.speculationDepth = 9;
+    EXPECT_THROW(samplers::run(*wl, cfg), Error);
+}
+
+} // namespace
+} // namespace bayes

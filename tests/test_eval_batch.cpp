@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "ad/tape.hpp"
+#include "determinism_harness.hpp"
 #include "ppl/evaluator.hpp"
 #include "samplers/runner.hpp"
 #include "support/rng.hpp"
@@ -272,28 +273,13 @@ TEST(EvalBatch, ReserveHintSurvivesScalarToggle)
     EXPECT_NEAR(eval.logProbGrad(pts[0], g1), fusedLp, 1e-15);
 }
 
-/** Draws/logProbs/gradEvals must be byte-identical between runs. */
-void
-expectIdenticalRuns(const samplers::RunResult& a,
-                    const samplers::RunResult& b)
-{
-    ASSERT_EQ(a.chains.size(), b.chains.size());
-    for (std::size_t c = 0; c < a.chains.size(); ++c) {
-        ASSERT_EQ(a.chains[c].draws.size(), b.chains[c].draws.size());
-        for (std::size_t t = 0; t < a.chains[c].draws.size(); ++t)
-            EXPECT_EQ(a.chains[c].draws[t], b.chains[c].draws[t])
-                << "chain " << c << " draw " << t;
-        EXPECT_EQ(a.chains[c].logProbs, b.chains[c].logProbs);
-        EXPECT_EQ(a.chains[c].totalGradEvals, b.chains[c].totalGradEvals);
-    }
-}
-
 TEST(EvalBatch, PooledBatchedDrawsMatchSequential)
 {
     // The acceptance gate: pooled batched rounds replay the exact
     // per-chain RNG and evaluation schedule, so HMC and MH draws are
-    // byte-identical to the sequential executor's (and to the pooled
-    // executor with batching off).
+    // byte-identical to the sequential executor's, the pooled executor
+    // with batching off, and every speculative-prefetch depth (cached
+    // lanes commit the same bits a mandatory evaluation would have).
     const auto wl = workloads::makeWorkload("ad", 0.1);
     for (const auto algo : {samplers::Algorithm::Hmc,
                             samplers::Algorithm::Mh}) {
@@ -305,16 +291,7 @@ TEST(EvalBatch, PooledBatchedDrawsMatchSequential)
         cfg.warmup = 20;
         cfg.hmcLeapfrogSteps = 8;
         cfg.seed = 777;
-
-        cfg.execution = samplers::ExecutionPolicy::sequential();
-        const auto sequential = samplers::run(*wl, cfg);
-
-        cfg.execution = samplers::ExecutionPolicy::pool(2);
-        cfg.batchEval = true;
-        expectIdenticalRuns(samplers::run(*wl, cfg), sequential);
-
-        cfg.batchEval = false;
-        expectIdenticalRuns(samplers::run(*wl, cfg), sequential);
+        harness::expectPolicyInvariantDraws(*wl, cfg, {0, 1, 2, 3});
     }
 }
 

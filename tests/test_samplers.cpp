@@ -8,13 +8,16 @@
  */
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <limits>
 
+#include "determinism_harness.hpp"
 #include "math/distributions.hpp"
 #include "samplers/dual_averaging.hpp"
 #include "samplers/runner.hpp"
 #include "support/stats.hpp"
+#include "support/timer.hpp"
 
 namespace bayes::samplers {
 namespace {
@@ -260,19 +263,6 @@ TEST(Samplers, AlgorithmNames)
     EXPECT_STREQ(algorithmName(Algorithm::Mh), "MH");
 }
 
-void
-expectIdenticalDraws(const RunResult& a, const RunResult& b)
-{
-    ASSERT_EQ(a.chains.size(), b.chains.size());
-    for (std::size_t c = 0; c < a.chains.size(); ++c) {
-        ASSERT_EQ(a.chains[c].draws.size(), b.chains[c].draws.size());
-        for (std::size_t t = 0; t < a.chains[c].draws.size(); ++t)
-            EXPECT_EQ(a.chains[c].draws[t], b.chains[c].draws[t]);
-        EXPECT_EQ(a.chains[c].logProbs, b.chains[c].logProbs);
-        EXPECT_EQ(a.chains[c].totalGradEvals, b.chains[c].totalGradEvals);
-    }
-}
-
 TEST(Samplers, AllExecutionPoliciesMatchSequentialExactly)
 {
     GaussianTarget model;
@@ -285,16 +275,16 @@ TEST(Samplers, AllExecutionPoliciesMatchSequentialExactly)
                  {Algorithm::Mh, 400},
                  {Algorithm::Slice, 200}};
     for (const auto& c : cases) {
+        SCOPED_TRACE(algorithmName(c.algo));
         auto cfg = baseConfig(c.algo, c.iterations);
         cfg.chains = 4;
         cfg.hmcLeapfrogSteps = 8;
+        harness::expectPolicyInvariantDraws(model, cfg);
+        // pool() (hardware-width) isn't in the shared grid; keep the
+        // historical coverage of the unbounded pool here.
         const auto sequential = run(model, cfg);
-        for (const auto policy : {ExecutionPolicy::threadPerChain(),
-                                  ExecutionPolicy::pool(2),
-                                  ExecutionPolicy::pool()}) {
-            cfg.execution = policy;
-            expectIdenticalDraws(run(model, cfg), sequential);
-        }
+        cfg.execution = ExecutionPolicy::pool();
+        EXPECT_TRUE(harness::identicalRuns(run(model, cfg), sequential));
     }
 }
 
@@ -310,11 +300,7 @@ TEST(Samplers, PhasedMonitorStopsAtSameRoundUnderEveryPolicy)
     const auto sequential = run(model, cfg, stopAt40);
     for (const auto& chain : sequential.chains)
         EXPECT_EQ(chain.draws.size(), 40u);
-    for (const auto policy : {ExecutionPolicy::threadPerChain(),
-                              ExecutionPolicy::pool(2)}) {
-        cfg.execution = policy;
-        expectIdenticalDraws(run(model, cfg, stopAt40), sequential);
-    }
+    harness::expectPolicyInvariantDraws(model, cfg, {0}, stopAt40);
 }
 
 TEST(Samplers, MonitorExceptionPropagatesFromPhasedExecutor)
@@ -327,6 +313,101 @@ TEST(Samplers, MonitorExceptionPropagatesFromPhasedExecutor)
                          throw Error("monitor bailed");
                      }),
                  Error);
+}
+
+// -- runWithDeadline property tests ----------------------------------
+// Driven by a fake clock (support::ScopedClockSource): a tick monitor
+// advances virtual time by a fixed dt per post-warmup round, so the
+// deadline path is exercised deterministically with no wall-clock
+// sleeps. At round r the executor observes elapsed == (r-1)*dt.
+
+std::atomic<double> g_fakeNow{0.0};
+
+double
+fakeClock() noexcept
+{
+    return g_fakeNow.load(std::memory_order_relaxed);
+}
+
+TEST(Samplers, DeadlinePrefixProperty)
+{
+    GaussianTarget model;
+    auto cfg = baseConfig(Algorithm::Mh, 80);
+    cfg.warmup = 40; // postWarmup = 40 rounds
+    const double dt = 0.25;
+    const IterationMonitor tick = [&](const MonitorContext&) {
+        g_fakeNow.store(g_fakeNow.load() + dt);
+        return MonitorAction::Continue;
+    };
+
+    support::ScopedClockSource fake(&fakeClock);
+    g_fakeNow.store(0.0);
+    const auto full = runWithDeadline(
+        model, cfg, std::numeric_limits<double>::infinity(), tick);
+    EXPECT_FALSE(full.expired);
+    ASSERT_EQ(full.run.chains[0].draws.size(), 40u);
+
+    // Random deadlines across [0, past-the-budget): the delivered
+    // draws must always be an exact bitwise prefix of the undeadlined
+    // run, warmup must always complete, and expiry must be consistent
+    // with both the clock and the draw count.
+    Rng deadlineRng(20260808);
+    for (int trial = 0; trial < 12; ++trial) {
+        const double deadline = deadlineRng.uniform() * dt * 45.0;
+        SCOPED_TRACE(::testing::Message() << "deadline " << deadline);
+        g_fakeNow.store(0.0);
+        const auto got = runWithDeadline(model, cfg, deadline, tick);
+        EXPECT_TRUE(harness::identicalPrefix(got.run, full.run));
+        for (const auto& chain : got.run.chains) {
+            // Warmup always completes; at least one sampling round
+            // runs before the deadline can fire.
+            EXPECT_GE(chain.iterStats.size(), 40u);
+            EXPECT_GE(chain.draws.size(), 1u);
+        }
+        if (got.expired) {
+            EXPECT_GE(got.elapsedSeconds, deadline);
+        }
+        EXPECT_EQ(got.expired, got.run.chains[0].draws.size() < 40u);
+    }
+}
+
+TEST(Samplers, DeadlineZeroStopsAfterOneRoundWithWarmupComplete)
+{
+    GaussianTarget model;
+    auto cfg = baseConfig(Algorithm::Mh, 80);
+    cfg.warmup = 40;
+    support::ScopedClockSource fake(&fakeClock);
+    g_fakeNow.store(0.0);
+    const auto got = runWithDeadline(model, cfg, 0.0, nullptr);
+    EXPECT_TRUE(got.expired);
+    for (const auto& chain : got.run.chains) {
+        EXPECT_EQ(chain.draws.size(), 1u); // first round's draw kept
+        EXPECT_GE(chain.iterStats.size(), 41u); // warmup + that round
+    }
+}
+
+TEST(Samplers, DeadlinePrefixHoldsUnderPooledBatchedExecution)
+{
+    GaussianTarget model;
+    auto cfg = baseConfig(Algorithm::Mh, 80);
+    cfg.warmup = 40;
+    cfg.execution = ExecutionPolicy::pool(2);
+    cfg.batchEval = true;
+    cfg.speculationDepth = 2;
+    const double dt = 0.25;
+    const IterationMonitor tick = [&](const MonitorContext&) {
+        g_fakeNow.store(g_fakeNow.load() + dt);
+        return MonitorAction::Continue;
+    };
+    support::ScopedClockSource fake(&fakeClock);
+    g_fakeNow.store(0.0);
+    const auto full = runWithDeadline(
+        model, cfg, std::numeric_limits<double>::infinity(), tick);
+    g_fakeNow.store(0.0);
+    const auto got = runWithDeadline(model, cfg, dt * 9.5, tick);
+    EXPECT_TRUE(got.expired);
+    EXPECT_EQ(got.run.chains[0].draws.size(), 11u); // ceil(9.5)+1 rounds
+    EXPECT_TRUE(harness::identicalPrefix(got.run, full.run));
 }
 
 TEST(Samplers, ExecutionModeNames)
