@@ -6,10 +6,17 @@
  * to be asymptotically exact"; this bench quantifies the trade-off:
  * ADVI's gradient-evaluation budget vs NUTS', and the quality gap
  * (moment-matched KL of each against a long NUTS ground truth).
+ *
+ * Output: the human-readable table on stdout plus the obs snapshot —
+ * per-workload `bench.advi_vs_nuts.*` gauges — written to
+ * `$BAYES_BENCH_METRICS_DIR/advi_vs_nuts.json` via
+ * bench::writeRunReport (bench-local gauges; the src/ catalogue rule
+ * R004 does not apply to bench metrics).
  */
 #include "common.hpp"
 #include "diagnostics/convergence.hpp"
 #include "diagnostics/summary.hpp"
+#include "obs/obs.hpp"
 #include "samplers/advi.hpp"
 #include "support/table.hpp"
 #include "support/timer.hpp"
@@ -61,28 +68,43 @@ main()
         std::vector<std::vector<double>> nutsDraws(dim);
         for (std::size_t i = 0; i < dim; ++i)
             nutsDraws[i] = diagnostics::pooledCoordinate(nutsRun, i);
+        const double nutsSeconds = nutsTimer.seconds();
+        const double nutsKl = diagnostics::gaussianKl(nutsDraws, truth);
         table.row()
             .cell(name)
             .cell("NUTS")
             .cell(static_cast<long>(nutsRun.totalGradEvals()))
-            .cell(nutsTimer.seconds(), 1)
-            .cell(diagnostics::gaussianKl(nutsDraws, truth), 4);
+            .cell(nutsSeconds, 1)
+            .cell(nutsKl, 4);
 
         // ADVI.
         Timer adviTimer;
         const auto fit = samplers::fitAdvi(*wl);
+        const double adviSeconds = adviTimer.seconds();
+        const double adviKl =
+            diagnostics::gaussianKl(byCoordinate(fit.draws, dim), truth);
         table.row()
             .cell(name)
             .cell("ADVI")
             .cell(static_cast<long>(fit.gradEvals))
-            .cell(adviTimer.seconds(), 1)
-            .cell(diagnostics::gaussianKl(byCoordinate(fit.draws, dim),
-                                          truth),
-                  4);
+            .cell(adviSeconds, 1)
+            .cell(adviKl, 4);
+
+        auto& reg = obs::Registry::global();
+        const std::string prefix = "bench.advi_vs_nuts." + name + ".";
+        reg.gauge(prefix + "nuts_grad_evals")
+            .set(static_cast<double>(nutsRun.totalGradEvals()));
+        reg.gauge(prefix + "nuts_wall_seconds").set(nutsSeconds);
+        reg.gauge(prefix + "nuts_kl_vs_truth").set(nutsKl);
+        reg.gauge(prefix + "advi_grad_evals")
+            .set(static_cast<double>(fit.gradEvals));
+        reg.gauge(prefix + "advi_wall_seconds").set(adviSeconds);
+        reg.gauge(prefix + "advi_kl_vs_truth").set(adviKl);
         std::fprintf(stderr, "[bench] %s done\n", name.c_str());
     }
     printSection("ADVI vs NUTS (§II-B): work and posterior quality "
                  "against a 2x NUTS ground truth",
                  table);
+    bench::writeRunReport("advi_vs_nuts");
     return 0;
 }

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Amortized-tier serving bench — replays one deterministic repeat-heavy
+ * mixed trace through two servers, amortized tier on and off, and
+ * reports the speedup a service owner actually buys: per-tier request
+ * counts, per-tier service-time p50/p99, and the repeat-request p50
+ * ratio against the all-NUTS baseline. The trace mixes gate-passing
+ * families ("ad", "votes") with a hierarchical posterior whose
+ * mean-field fit the Pareto-k̂ gate rejects ("12cities"), so the served
+ * / escalated / cold split is exercised end to end.
+ *
+ * Output: human-readable tables on stdout, one machine-readable JSON
+ * line (prefixed `SERVE_AMORTIZED_JSON:`), and the obs snapshot
+ * (amort.* counters included) via $BAYES_BENCH_METRICS_DIR.
+ *
+ * Hard gates (CI smoke): the tier accounting identity
+ * `served + escalated + cold == requests` must hold exactly, zero
+ * requests may carry wrong-tier flags (amortized answers never also
+ * escalated; full-path answers never marked amortized), and on this
+ * >=70%-repeat trace the tier must answer >=50% of requests.
+ *
+ * Usage: serve_amortized [rounds] [seed]
+ */
+#include "common.hpp"
+#include "obs/obs.hpp"
+#include "serve/server.hpp"
+#include "support/stats.hpp"
+#include "support/table.hpp"
+#include "support/timer.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <limits>
+#include <string>
+#include <vector>
+
+using namespace bayes;
+
+namespace {
+
+constexpr double kScale = 0.25;
+
+samplers::Config
+requestConfig()
+{
+    samplers::Config config;
+    config.algorithm = samplers::Algorithm::Nuts;
+    config.chains = 2;
+    config.iterations = 200;
+    return config;
+}
+
+/**
+ * Cheap-tier settings sized for the bench: the Pareto-k̂ estimate is a
+ * deterministic function of (workload, scale, ADVI config, importance
+ * draws), and at these settings "ad" and "votes" land under the 0.7
+ * cutoff while "12cities" lands above it — the split the bench's hard
+ * gates rely on. (tests/test_serve_amortized.cpp pins the same
+ * configuration.)
+ */
+samplers::amortize::AmortizeConfig
+tierConfig()
+{
+    samplers::amortize::AmortizeConfig config;
+    config.advi.maxIterations = 400;
+    config.advi.outputDraws = 256;
+    config.importanceDraws = 128;
+    return config;
+}
+
+/**
+ * Deterministic repeat-heavy trace: each round asks for the two
+ * gate-passing families plus (every other round) the escalating one, so
+ * repeats dominate (>=70%) and all three tier outcomes occur.
+ */
+std::vector<serve::Request>
+mixedTrace(std::size_t rounds, std::uint64_t seed)
+{
+    std::vector<serve::Request> trace;
+    for (std::size_t round = 0; round < rounds; ++round) {
+        for (const char* name : {"ad", "votes"}) {
+            serve::Request request;
+            request.tenant = "bench";
+            request.workload = name;
+            request.dataScale = kScale;
+            request.config = requestConfig();
+            request.config.seed = seed;
+            request.deadlineSeconds =
+                std::numeric_limits<double>::infinity();
+            trace.push_back(request);
+            if (name[0] == 'a' && round % 2 == 0) {
+                serve::Request hard = request;
+                hard.workload = "12cities";
+                trace.push_back(hard);
+            }
+        }
+    }
+    return trace;
+}
+
+struct TierStats
+{
+    std::vector<double> service;
+    std::size_t count = 0;
+
+    void note(double seconds)
+    {
+        service.push_back(seconds);
+        ++count;
+    }
+    double p50() const
+    {
+        return service.empty() ? 0.0 : quantile(service, 0.50);
+    }
+    double p99() const
+    {
+        return service.empty() ? 0.0 : quantile(service, 0.99);
+    }
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    const std::size_t rounds =
+        argc > 1 ? static_cast<std::size_t>(std::atol(argv[1])) : 8;
+    const std::uint64_t seed =
+        argc > 2 ? static_cast<std::uint64_t>(std::atoll(argv[2])) : 20190331;
+
+    const std::vector<serve::Request> trace = mixedTrace(rounds, seed);
+    std::fprintf(stderr, "[bench] serve_amortized: %zu requests\n",
+                 trace.size());
+
+    serve::ServerConfig tiered;
+    tiered.amortizedTier = true;
+    tiered.amortize = tierConfig();
+    serve::Server amortized(tiered);
+    std::vector<std::uint64_t> ids;
+    const Timer tieredWall;
+    for (const serve::Request& r : trace)
+        ids.push_back(amortized.submit(r));
+    amortized.drain();
+    const double tieredSeconds = tieredWall.seconds();
+
+    serve::Server baseline;
+    std::vector<std::uint64_t> baseIds;
+    const Timer baseWall;
+    for (const serve::Request& r : trace)
+        baseIds.push_back(baseline.submit(r));
+    baseline.drain();
+    const double baseSeconds = baseWall.seconds();
+
+    // Per-tier outcome + service-time stats, plus the wrong-tier gate.
+    TierStats amortTier;
+    TierStats fullTier;
+    std::size_t wrongTier = 0;
+    for (auto id : ids) {
+        const serve::Response& r = amortized.response(id);
+        if (r.status != serve::RequestStatus::Ok) {
+            std::fprintf(stderr, "ERROR: request %llu not Ok (%s)\n",
+                         static_cast<unsigned long long>(id),
+                         serve::requestStatusName(r.status));
+            return 1;
+        }
+        if (r.servedAmortized && r.escalated)
+            ++wrongTier; // an amortized answer cannot also be escalated
+        (r.servedAmortized ? amortTier : fullTier).note(r.serviceSeconds);
+    }
+    for (auto id : baseIds)
+        if (baseline.response(id).servedAmortized)
+            ++wrongTier; // tier off: nothing may claim the cheap tier
+
+    // Repeat-request p50: every request after the first touch of its
+    // workload family (the population the cache amortizes over).
+    auto repeatP50 = [](const serve::Server& server,
+                        const std::vector<std::uint64_t>& requestIds) {
+        std::vector<double> service;
+        std::vector<std::string> seen;
+        for (auto id : requestIds) {
+            const serve::Response& r = server.response(id);
+            bool first = true;
+            for (const std::string& w : seen)
+                if (w == r.workload)
+                    first = false;
+            if (first)
+                seen.push_back(r.workload);
+            else
+                service.push_back(r.serviceSeconds);
+        }
+        return service.empty() ? 0.0 : quantile(service, 0.50);
+    };
+    const double tieredRepeatP50 = repeatP50(amortized, ids);
+    const double baseRepeatP50 = repeatP50(baseline, baseIds);
+    const double repeatSpeedup = tieredRepeatP50 > 0.0
+        ? baseRepeatP50 / tieredRepeatP50
+        : 0.0;
+
+    const samplers::amortize::Stats stats = amortized.amortStats();
+
+    Table tiers({"tier", "requests", "p50(s)", "p99(s)"});
+    tiers.row()
+        .cell("amortized")
+        .cell(static_cast<long>(amortTier.count))
+        .cell(amortTier.p50(), 6)
+        .cell(amortTier.p99(), 6);
+    tiers.row()
+        .cell("full (cold+escalated)")
+        .cell(static_cast<long>(fullTier.count))
+        .cell(fullTier.p50(), 6)
+        .cell(fullTier.p99(), 6);
+    printSection("Amortized serving — per-tier service time on the "
+                 "mixed repeat-heavy trace",
+                 tiers);
+
+    Table totals({"requests", "served", "escalated", "cold",
+                  "repeat p50 speedup", "tiered wall(s)",
+                  "baseline wall(s)"});
+    totals.row()
+        .cell(static_cast<long>(stats.requests))
+        .cell(static_cast<long>(stats.served))
+        .cell(static_cast<long>(stats.escalated))
+        .cell(static_cast<long>(stats.cold))
+        .cell(repeatSpeedup, 1)
+        .cell(tieredSeconds, 2)
+        .cell(baseSeconds, 2);
+    printSection("Amortized serving — tier accounting and the headline "
+                 "speedup vs the all-NUTS baseline",
+                 totals);
+
+    const std::string json =
+        std::string("{\"requests\":") + std::to_string(trace.size())
+        + ",\"amort_requests\":" + std::to_string(stats.requests)
+        + ",\"served\":" + std::to_string(stats.served)
+        + ",\"escalated\":" + std::to_string(stats.escalated)
+        + ",\"cold\":" + std::to_string(stats.cold)
+        + ",\"wrong_tier\":" + std::to_string(wrongTier)
+        + ",\"amortized_p50_s\":" + std::to_string(amortTier.p50())
+        + ",\"amortized_p99_s\":" + std::to_string(amortTier.p99())
+        + ",\"full_p50_s\":" + std::to_string(fullTier.p50())
+        + ",\"full_p99_s\":" + std::to_string(fullTier.p99())
+        + ",\"repeat_p50_speedup\":" + std::to_string(repeatSpeedup)
+        + "}";
+    std::printf("SERVE_AMORTIZED_JSON: %s\n", json.c_str());
+
+    // Hard gates (see file docs).
+    if (stats.served + stats.escalated + stats.cold != stats.requests) {
+        std::fprintf(stderr, "ERROR: tier accounting broken: "
+                             "%llu + %llu + %llu != %llu\n",
+                     static_cast<unsigned long long>(stats.served),
+                     static_cast<unsigned long long>(stats.escalated),
+                     static_cast<unsigned long long>(stats.cold),
+                     static_cast<unsigned long long>(stats.requests));
+        return 1;
+    }
+    if (wrongTier != 0) {
+        std::fprintf(stderr, "ERROR: %zu wrong-tier responses\n",
+                     wrongTier);
+        return 1;
+    }
+    if (2 * stats.served < trace.size()) {
+        std::fprintf(stderr,
+                     "ERROR: amortized tier served %llu of %zu requests "
+                     "(< 50%%)\n",
+                     static_cast<unsigned long long>(stats.served),
+                     trace.size());
+        return 1;
+    }
+
+    bench::writeRunReport("serve_amortized");
+    return 0;
+}

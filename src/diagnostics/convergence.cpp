@@ -190,6 +190,8 @@ gaussianKl(const std::vector<std::vector<double>>& p,
                 "KL requires matching coordinate counts");
     double total = 0.0;
     for (std::size_t i = 0; i < p.size(); ++i) {
+        BAYES_CHECK(!p[i].empty() && !q[i].empty(),
+                    "KL requires non-empty samples per coordinate");
         const double m1 = mean(p[i]);
         const double m2 = mean(q[i]);
         // Floor the scales so point-mass coordinates stay finite.

@@ -1,0 +1,156 @@
+#include "diagnostics/importance.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "support/error.hpp"
+
+namespace bayes::diagnostics {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/**
+ * Zhang & Stephens (2009) profile-likelihood GPD shape fit over sorted
+ * exceedances y (ascending, y.back() > 0), with loo's weakly
+ * informative prior pulling k̂ toward 0.5. The GPD is parameterized
+ * F(y) = 1 − (1 − b·y)^{1/k}; the usual tail index ξ equals the k
+ * returned here (heavy tail ⇒ b̂ < 0 ⇒ k̂ > 0).
+ */
+double
+gpdShapeFit(const std::vector<double>& y)
+{
+    const std::size_t m = y.size();
+    const double md = static_cast<double>(m);
+    const double ymax = y.back();
+
+    // First-quartile exceedance scales the grid of candidate b values.
+    std::size_t q1Idx = static_cast<std::size_t>(md / 4.0 + 0.5);
+    q1Idx = q1Idx > 0 ? q1Idx - 1 : 0;
+    double q1 = y[q1Idx];
+    if (q1 <= 0.0)
+        q1 = ymax * 1e-12;
+
+    const std::size_t gridPts =
+        30 + static_cast<std::size_t>(std::sqrt(md));
+    const double gd = static_cast<double>(gridPts);
+
+    auto shapeAt = [&](double b) {
+        double k = 0.0;
+        for (double yi : y)
+            k += std::log1p(-b * yi);
+        return k / md;
+    };
+
+    // Profile log-likelihood l(b) = m·(log(−b/k(b)) − k(b) − 1), then a
+    // posterior-mean b̂ under the implicit flat grid prior.
+    std::vector<double> bs(gridPts);
+    std::vector<double> ls(gridPts);
+    double lmax = -kInf;
+    for (std::size_t j = 0; j < gridPts; ++j) {
+        const double jd = static_cast<double>(j) + 1.0;
+        const double b =
+            1.0 / ymax + (1.0 - std::sqrt(gd / (jd - 0.5))) / (3.0 * q1);
+        const double k = shapeAt(b);
+        double l = -kInf;
+        if (k != 0.0 && std::isfinite(k) && -b / k > 0.0)
+            l = md * (std::log(-b / k) - k - 1.0);
+        bs[j] = b;
+        ls[j] = l;
+        lmax = std::max(lmax, l);
+    }
+    if (!std::isfinite(lmax))
+        return -kInf;
+
+    double wSum = 0.0;
+    double bHat = 0.0;
+    for (std::size_t j = 0; j < gridPts; ++j) {
+        const double w = std::exp(ls[j] - lmax);
+        wSum += w;
+        bHat += w * bs[j];
+    }
+    bHat /= wSum;
+
+    const double kHat = shapeAt(bHat);
+    // Weakly informative prior (loo: prior strength 10, location 0.5)
+    // regularizes small tails toward the usable region's edge.
+    return (md * kHat + 5.0) / (md + 10.0);
+}
+
+} // namespace
+
+double
+paretoKhat(const std::vector<double>& logRatios)
+{
+    BAYES_CHECK(!logRatios.empty(), "paretoKhat requires log ratios");
+
+    std::vector<double> finite;
+    finite.reserve(logRatios.size());
+    for (double l : logRatios) {
+        if (std::isnan(l) || l == kInf)
+            return kInf; // meaningless ratios: maximally unreliable
+        if (l == -kInf)
+            continue; // zero weight: no tail contribution
+        finite.push_back(l);
+    }
+    const std::size_t n = finite.size();
+    if (n < 5)
+        return std::numeric_limits<double>::quiet_NaN();
+
+    std::sort(finite.begin(), finite.end());
+    const double mx = finite.back();
+    const double nd = static_cast<double>(n);
+
+    // Tail size per PSIS: the larger of 5 and min(0.2n, 3√n).
+    std::size_t tail = static_cast<std::size_t>(
+        std::min(0.2 * nd, 3.0 * std::sqrt(nd)));
+    tail = std::min(std::max<std::size_t>(tail, 5), n);
+
+    // Exceedances over the (n−M)th order statistic on the stabilized
+    // weight scale w = exp(l − max l).
+    const double cutoff =
+        tail < n ? std::exp(finite[n - tail - 1] - mx) : 0.0;
+    std::vector<double> y;
+    y.reserve(tail);
+    for (std::size_t i = n - tail; i < n; ++i)
+        y.push_back(std::exp(finite[i] - mx) - cutoff);
+    if (y.back() <= 0.0)
+        return -kInf; // degenerate tail: all weights identical
+
+    return gpdShapeFit(y);
+}
+
+ImportanceDiagnostics
+importanceDiagnostics(const std::vector<double>& logRatios)
+{
+    BAYES_CHECK(!logRatios.empty(),
+                "importanceDiagnostics requires log ratios");
+    ImportanceDiagnostics d;
+    d.khat = paretoKhat(logRatios);
+
+    double mx = -kInf;
+    for (double l : logRatios)
+        if (!std::isnan(l))
+            mx = std::max(mx, l);
+    if (!std::isfinite(mx)) {
+        d.essRatio = 0.0;
+        d.maxWeightFraction = 1.0;
+        return d;
+    }
+    double sum = 0.0;
+    double sumSq = 0.0;
+    double wMax = 0.0;
+    for (double l : logRatios) {
+        const double w = std::isnan(l) ? 0.0 : std::exp(l - mx);
+        sum += w;
+        sumSq += w * w;
+        wMax = std::max(wMax, w);
+    }
+    const double nd = static_cast<double>(logRatios.size());
+    d.essRatio = sumSq > 0.0 ? (sum * sum) / (sumSq * nd) : 0.0;
+    d.maxWeightFraction = sum > 0.0 ? wMax / sum : 1.0;
+    return d;
+}
+
+} // namespace bayes::diagnostics

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Importance-sampling reliability diagnostics: the Pareto-k̂ tail-shape
+ * estimate (Vehtari, Simpson, Gelman, Yao & Gabry 2024, PSIS) over log
+ * importance ratios, plus summary statistics of the normalized weights.
+ *
+ * These are the cheap-tier acceptance signals for the amortized serving
+ * path: when an ADVI approximation q is used in place of the true
+ * posterior p, the importance ratios r_i = p(θ_i)/q(θ_i) over draws
+ * θ_i ~ q reveal how badly q underestimates the tails of p. A finite
+ * variance (servable) ratio distribution has k̂ < 0.5; k̂ in [0.5, 0.7]
+ * is usable with inflated error; k̂ > 0.7 means the cheap tier cannot
+ * be trusted and the request must escalate to full MCMC.
+ *
+ * This header is samplers-free: it sees only raw log-ratio vectors.
+ */
+#pragma once
+
+#include <vector>
+
+namespace bayes::diagnostics {
+
+/**
+ * Pareto-k̂ tail-shape estimate of a set of log importance ratios.
+ *
+ * Fits a generalized Pareto distribution to the largest
+ * M = min(0.2n, 3√n) importance weights (exceedances over the (n−M)th
+ * order statistic) with the Zhang & Stephens (2009) profile-likelihood
+ * estimator and loo's weakly informative prior on the shape. The
+ * returned k̂ estimates the tail index of the weight distribution:
+ *
+ *   k̂ <  0    weights are bounded (lighter than any power law)
+ *   k̂ <  0.5  finite variance — plain importance sampling works
+ *   k̂ >= 0.7  conventional reliability cutoff — escalate
+ *
+ * Infinite/NaN log ratios: +inf or NaN entries make the estimate
+ * meaningless and return +inf (maximally unreliable); -inf entries are
+ * zero weights and are dropped before fitting.
+ *
+ * @param logRatios  log(p/q) per draw; need not be normalized. Must be
+ *                   non-empty.
+ * @return k̂, or NaN when fewer than 5 finite ratios remain (too few to
+ *         fit a tail), or -inf when the retained tail is degenerate
+ *         (all tail weights identical).
+ */
+double paretoKhat(const std::vector<double>& logRatios);
+
+/** Weight-distribution summary alongside the tail-shape estimate. */
+struct ImportanceDiagnostics {
+    /** Pareto tail-shape estimate; see paretoKhat. */
+    double khat = 0.0;
+    /** Effective-sample-size fraction 1 / (n·Σ w̄_i²) of the
+     * self-normalized weights, in (0, 1]; 1 means uniform weights. */
+    double essRatio = 0.0;
+    /** Largest single normalized weight, in [1/n, 1]; values near 1
+     * mean one draw dominates the estimate. */
+    double maxWeightFraction = 0.0;
+};
+
+/**
+ * Full importance-weight diagnostics over a set of log ratios.
+ * Normalizes the weights with the stabilized exp(l − max l) transform,
+ * so unnormalized log densities are fine.
+ */
+ImportanceDiagnostics
+importanceDiagnostics(const std::vector<double>& logRatios);
+
+} // namespace bayes::diagnostics

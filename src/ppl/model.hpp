@@ -286,6 +286,18 @@ class Model
      * paper's static "modeled data size" feature (§V-A).
      */
     virtual std::size_t modeledDataBytes() const = 0;
+
+    /**
+     * Sufficient statistics of the observed dataset — a short vector of
+     * canonical summaries (counts, sums, sums of squares/cross terms)
+     * that identifies the dataset for amortized-posterior caching: two
+     * instances of the same model family with equal statistics have the
+     * same likelihood up to reordering, so a posterior fitted for one
+     * serves the other. The default (empty) marks the model as not
+     * amortizable; workloads opt in by returning a non-empty vector.
+     * Ordering must be deterministic across processes.
+     */
+    virtual std::vector<double> dataSufficientStats() const { return {}; }
 };
 
 } // namespace bayes::ppl

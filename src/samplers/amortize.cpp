@@ -1,0 +1,198 @@
+#include "samplers/amortize.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <limits>
+
+#include "diagnostics/convergence.hpp"
+#include "diagnostics/importance.hpp"
+#include "diagnostics/summary.hpp"
+#include "obs/obs.hpp"
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace bayes::samplers::amortize {
+namespace {
+
+/** Amortized-tier telemetry (catalogued in docs/observability.md). */
+struct AmortMetrics
+{
+    obs::Counter& requests =
+        obs::Registry::global().counter("amort.requests");
+    obs::Counter& served = obs::Registry::global().counter("amort.served");
+    obs::Counter& escalated =
+        obs::Registry::global().counter("amort.escalated");
+    obs::Counter& cold = obs::Registry::global().counter("amort.cold");
+
+    static AmortMetrics& get()
+    {
+        static AmortMetrics* m = new AmortMetrics; // leaked, like Registry
+        return *m;
+    }
+};
+
+/** Per-coordinate mean and (population) sd over [draw][coord] rows. */
+void
+momentsOfDraws(const std::vector<std::vector<double>>& draws,
+               std::vector<double>& mean, std::vector<double>& sd)
+{
+    BAYES_CHECK(!draws.empty(), "amortize: moments need draws");
+    const std::size_t dim = draws.front().size();
+    const double n = static_cast<double>(draws.size());
+    mean.assign(dim, 0.0);
+    sd.assign(dim, 0.0);
+    for (const auto& draw : draws)
+        for (std::size_t i = 0; i < dim; ++i)
+            mean[i] += draw[i];
+    for (double& m : mean)
+        m /= n;
+    for (const auto& draw : draws)
+        for (std::size_t i = 0; i < dim; ++i) {
+            const double d = draw[i] - mean[i];
+            sd[i] += d * d;
+        }
+    for (double& s : sd)
+        s = std::sqrt(s / n);
+}
+
+constexpr double kHalfLog2Pi = 0.9189385332046727; // 0.5*log(2*pi)
+
+} // namespace
+
+AmortizedCache::AmortizedCache(AmortizeConfig config)
+    : config_(std::move(config))
+{
+    BAYES_CHECK(config_.importanceDraws >= 8,
+                "amortize: importanceDraws must be >= 8, got "
+                    << config_.importanceDraws);
+}
+
+std::string
+AmortizedCache::statsDigest(const ppl::Model& model)
+{
+    const std::vector<double> stats = model.dataSufficientStats();
+    if (stats.empty())
+        return {};
+    std::string digest;
+    digest.reserve(stats.size() * 20);
+    char buf[32];
+    for (double s : stats) {
+        std::snprintf(buf, sizeof(buf), "%.12g", s);
+        digest += buf;
+        digest += ',';
+    }
+    return digest;
+}
+
+Entry*
+AmortizedCache::find(const CacheKey& key)
+{
+    const auto it = entries_.find(key);
+    return it == entries_.end() ? nullptr : &it->second;
+}
+
+Entry&
+AmortizedCache::fit(const CacheKey& key, const ppl::Model& model,
+                    ppl::Evaluator& eval)
+{
+    Entry entry;
+    entry.fit = fitAdvi(model, config_.advi);
+    momentsOfDraws(entry.fit.draws, entry.mean, entry.sd);
+
+    // Importance-ratio tail diagnostic: draws θ ~ q on the unconstrained
+    // scale, ratios log p(θ) − log q(θ) with both densities on that
+    // scale (eval.logProb includes the transform Jacobian, matching the
+    // space q lives in). Deterministic per seed.
+    const std::size_t dim = entry.fit.mu.size();
+    Rng rng(config_.advi.seed);
+    std::vector<double> theta(dim);
+    std::vector<double> logRatios;
+    logRatios.reserve(static_cast<std::size_t>(config_.importanceDraws));
+    for (int s = 0; s < config_.importanceDraws; ++s) {
+        double logQ = 0.0;
+        for (std::size_t d = 0; d < dim; ++d) {
+            const double z = rng.normal();
+            theta[d] =
+                entry.fit.mu[d] + std::exp(entry.fit.omega[d]) * z;
+            logQ += -0.5 * z * z - entry.fit.omega[d] - kHalfLog2Pi;
+        }
+        logRatios.push_back(eval.logProb(theta) - logQ);
+    }
+    entry.khat = diagnostics::paretoKhat(logRatios);
+
+    return entries_.insert_or_assign(key, std::move(entry)).first->second;
+}
+
+void
+AmortizedCache::installReference(Entry& entry, const RunResult& run)
+{
+    std::vector<std::vector<double>> pooled;
+    for (const auto& chain : run.chains)
+        for (const auto& draw : chain.draws)
+            pooled.push_back(draw);
+    BAYES_CHECK(!pooled.empty(),
+                "amortize: reference run delivered no draws");
+    momentsOfDraws(pooled, entry.refMean, entry.refSd);
+    entry.refMaxRhat = diagnostics::runMaxRhat(run);
+
+    double kl = 0.0;
+    for (std::size_t i = 0; i < entry.mean.size(); ++i) {
+        kl += diagnostics::gaussianKl1d(
+            entry.mean[i], std::max(entry.sd[i], 1e-12), entry.refMean[i],
+            std::max(entry.refSd[i], 1e-12));
+    }
+    entry.klVsReference = kl / static_cast<double>(entry.mean.size());
+    entry.hasReference = true;
+}
+
+GateDecision
+AmortizedCache::gate(const Entry& entry) const
+{
+    GateDecision d;
+    d.khat = entry.khat;
+    d.kl = entry.klVsReference;
+    d.refRhat = entry.refMaxRhat;
+    // Negated comparisons so NaN diagnostics reject rather than pass.
+    if (!entry.hasReference)
+        d.rejectedBy = "no-reference";
+    else if (!(entry.khat <= config_.gate.khatMax))
+        d.rejectedBy = "khat";
+    else if (!(entry.klVsReference <= config_.gate.klMax))
+        d.rejectedBy = "kl";
+    else if (!(entry.refMaxRhat <= config_.gate.refRhatMax))
+        d.rejectedBy = "rhat";
+    else
+        d.pass = true;
+    return d;
+}
+
+void
+AmortizedCache::noteRequest()
+{
+    ++stats_.requests;
+    AmortMetrics::get().requests.add();
+}
+
+void
+AmortizedCache::noteServed(Entry& entry)
+{
+    ++entry.hits;
+    ++stats_.served;
+    AmortMetrics::get().served.add();
+}
+
+void
+AmortizedCache::noteEscalated()
+{
+    ++stats_.escalated;
+    AmortMetrics::get().escalated.add();
+}
+
+void
+AmortizedCache::noteCold()
+{
+    ++stats_.cold;
+    AmortMetrics::get().cold.add();
+}
+
+} // namespace bayes::samplers::amortize

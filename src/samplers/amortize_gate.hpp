@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Acceptance-gate thresholds for the amortized serving tier.
+ *
+ * This header is the single home for every acceptance-threshold
+ * literal (lint rule R014): gate tuning must happen here, and only
+ * here, so a grep of this file is the complete answer to "what does it
+ * take for the cheap tier to serve a request".
+ *
+ * What each threshold rejects:
+ *  - khatMax: the Pareto-k̂ tail-shape estimate of the ADVI-proposal
+ *    importance ratios. k̂ above ~0.7 is the PSIS reliability cutoff —
+ *    the variational fit misses enough posterior mass that importance
+ *    correction (and hence the cheap answer) cannot be trusted.
+ *  - klMax: moment-matched Gaussian KL divergence between the ADVI
+ *    posterior and the cached NUTS reference summary, averaged over
+ *    coordinates. Catches mean/scale drift of the cheap fit even when
+ *    its tails look fine.
+ *  - refRhatMax: max split-R̂ of the cached NUTS reference run. A
+ *    reference that never converged cannot vouch for the cheap tier,
+ *    whatever the KL says.
+ */
+#pragma once
+
+namespace bayes::samplers::amortize {
+
+/** Thresholds the per-request acceptance gate compares against. */
+struct GateThresholds
+{
+    /** Reject when Pareto-k̂ of the importance ratios exceeds this. */
+    double khatMax = 0.70;
+    /** Reject when mean per-coordinate Gaussian KL vs the NUTS
+     * reference exceeds this (nats). */
+    double klMax = 1.0;
+    /** Reject when the reference run's max split-R̂ exceeds this. */
+    double refRhatMax = 1.10;
+};
+
+} // namespace bayes::samplers::amortize

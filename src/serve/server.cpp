@@ -28,6 +28,8 @@ struct ServeMetrics
         obs::Registry::global().counter("serve.warm_hits");
     obs::Counter& warmMisses =
         obs::Registry::global().counter("serve.warm_misses");
+    obs::Counter& warmEvictions =
+        obs::Registry::global().counter("serve.warm_evictions");
     obs::Histogram& queueDepth =
         obs::Registry::global().histogram("serve.queue_depth");
     obs::Histogram& requestLatency =
@@ -115,18 +117,21 @@ requestStatusName(RequestStatus status)
     return "?";
 }
 
-Server::Server(ServerConfig config) : config_(std::move(config))
+Server::Server(ServerConfig config)
+    : config_(std::move(config)), amortCache_(config_.amortize)
 {
     BAYES_CHECK(config_.queueCapacity >= 1,
                 "serve: queue capacity must be >= 1");
     BAYES_CHECK(config_.workers >= 0,
                 "serve: pool worker count must be >= 0, got "
                     << config_.workers);
+    BAYES_CHECK(config_.warmCacheCapacity >= 1,
+                "serve: warm cache capacity must be >= 1");
 }
 
 Server::~Server() = default;
 
-Server::WarmModel&
+std::shared_ptr<Server::WarmModel>
 Server::warm(const std::string& name, double dataScale)
 {
     const auto key = std::make_pair(name, dataScale);
@@ -134,26 +139,57 @@ Server::warm(const std::string& name, double dataScale)
     if (it != warmCache_.end()) {
         ++warmHits_;
         ServeMetrics::get().warmHits.add();
+        it->second->lastUse = ++warmUseTick_;
         return it->second;
     }
     ++warmMisses_;
     ServeMetrics::get().warmMisses.add();
-    WarmModel entry;
-    entry.model = workloads::makeWorkload(name, dataScale);
-    entry.eval = std::make_unique<ppl::Evaluator>(*entry.model);
+    auto entry = std::make_shared<WarmModel>();
+    entry->model = workloads::makeWorkload(name, dataScale);
+    entry->eval = std::make_unique<ppl::Evaluator>(*entry->model);
     // Profile once at the origin: sizes the tape arena (reused for the
     // key's lifetime) and yields the work-intensity term of the
     // admission cost model.
-    std::vector<double> q(entry.eval->dim(), 0.0);
+    std::vector<double> q(entry->eval->dim(), 0.0);
     std::vector<double> grad;
-    entry.eval->logProbGrad(q, grad);
-    entry.nodesPerEval = static_cast<double>(entry.eval->lastTapeNodes());
-    return warmCache_.emplace(key, std::move(entry)).first->second;
+    entry->eval->logProbGrad(q, grad);
+    entry->nodesPerEval = static_cast<double>(entry->eval->lastTapeNodes());
+    entry->amortDigest =
+        samplers::amortize::AmortizedCache::statsDigest(*entry->model);
+    entry->lastUse = ++warmUseTick_;
+    warmCache_.emplace(key, entry);
+    // LRU bound: evict the stalest key. The entry just inserted carries
+    // the freshest tick, so it is never the victim; in-flight serving
+    // paths hold their own shared_ptr and are unaffected.
+    while (warmCache_.size() > config_.warmCacheCapacity) {
+        auto victim = warmCache_.begin();
+        for (auto cand = warmCache_.begin(); cand != warmCache_.end();
+             ++cand)
+            if (cand->second->lastUse < victim->second->lastUse)
+                victim = cand;
+        warmCache_.erase(victim);
+        ++warmEvictions_;
+        ServeMetrics::get().warmEvictions.add();
+    }
+    return entry;
 }
 
 double
-Server::estimate(const Request& request, const WarmModel& warmModel) const
+Server::estimate(const Request& request, const WarmModel& warmModel,
+                 bool forceFull)
 {
+    // Tier projection: when the cached posterior's gate currently
+    // passes, the request will be answered by the cheap tier at a flat
+    // (tiny) cost — project that instead of the full-run cost so
+    // admission does not shed repeat traffic the tier can absorb.
+    if (!forceFull && config_.amortizedTier && request.allowAmortized
+        && !warmModel.amortDigest.empty()) {
+        const samplers::amortize::CacheKey key{
+            request.workload, warmModel.amortDigest, request.dataScale};
+        const samplers::amortize::Entry* cached = amortCache_.find(key);
+        if (cached != nullptr && amortCache_.gate(*cached).pass)
+            return config_.amortizedServiceSeconds;
+    }
     const double perChain =
         estimatedEvalsPerChain(request.config, warmModel.eval->dim());
     const double evals =
@@ -167,7 +203,8 @@ double
 Server::estimatedServiceSeconds(const Request& request)
 {
     support::MutexLock lock(mutex_);
-    return estimate(request, warm(request.workload, request.dataScale));
+    return estimate(request, *warm(request.workload, request.dataScale),
+                    false);
 }
 
 ppl::Evaluator*
@@ -175,7 +212,14 @@ Server::warmEvaluator(const std::string& workload, double dataScale)
 {
     support::MutexLock lock(mutex_);
     const auto it = warmCache_.find(std::make_pair(workload, dataScale));
-    return it == warmCache_.end() ? nullptr : it->second.eval.get();
+    return it == warmCache_.end() ? nullptr : it->second->eval.get();
+}
+
+samplers::amortize::Stats
+Server::amortStats() const
+{
+    support::MutexLock lock(mutex_);
+    return amortCache_.stats();
 }
 
 std::size_t
@@ -256,8 +300,8 @@ Server::submit(Request request)
             // Warms the cache and prices the run (same math as the
             // public estimatedServiceSeconds, called with the lock
             // already held).
-            estimated =
-                estimate(request, warm(request.workload, request.dataScale));
+            estimated = estimate(
+                request, *warm(request.workload, request.dataScale), false);
         } catch (const Error& e) {
             fail(response, e.what());
             admit = false;
@@ -323,10 +367,21 @@ Server::serveNext()
         return;
 
     Response& response = responses_[entry.id];
-    servedOrder_.push_back(entry.id);
 
     const double start = std::max(virtualNow_, entry.arrivalSeconds);
     const double wait = start - entry.arrivalSeconds;
+
+    // Amortized tier: try to answer from the posterior cache before
+    // committing the coordinator to a full sampling run. A cold key or
+    // a gate rejection re-enters the queue with the full path forced.
+    if (!entry.forceFull && config_.amortizedTier
+        && entry.request.allowAmortized && wait <= entry.deadlineSeconds) {
+        const AmortTry outcome = tryAmortized(response, entry, start, wait);
+        if (outcome != AmortTry::NotAmortizable)
+            return; // served or requeued; bookkeeping done inside
+    }
+
+    servedOrder_.push_back(entry.id);
     response.startSeconds = start;
     response.queueWaitSeconds = wait;
 
@@ -346,17 +401,99 @@ Server::serveNext()
     finishServed(response, entry);
 }
 
+Server::AmortTry
+Server::tryAmortized(Response& response, QueueEntry& entry, double start,
+                     double wait)
+{
+    const Timer clock;
+    // The decision and the answer are both extracted under one short
+    // lock (amortCache_ is admission-time state); the serve below works
+    // on copies only.
+    bool cold = false;
+    bool pass = false;
+    int cachedDraws = 0;
+    std::vector<double> cachedMean;
+    double cachedRefRhat = 0.0;
+    std::shared_ptr<WarmModel> warmModel;
+    {
+        support::MutexLock lock(mutex_);
+        warmModel = warm(entry.request.workload, entry.request.dataScale);
+        if (warmModel->amortDigest.empty())
+            return AmortTry::NotAmortizable;
+        amortCache_.noteRequest();
+        const samplers::amortize::CacheKey key{entry.request.workload,
+                                               warmModel->amortDigest,
+                                               entry.request.dataScale};
+        samplers::amortize::Entry* cached = amortCache_.find(key);
+        if (cached == nullptr) {
+            cold = true;
+            amortCache_.noteCold();
+        } else if (amortCache_.gate(*cached).pass) {
+            pass = true;
+            amortCache_.noteServed(*cached);
+            cachedDraws = static_cast<int>(cached->fit.draws.size());
+            cachedMean = cached->mean;
+            cachedRefRhat = cached->refMaxRhat;
+        } else {
+            amortCache_.noteEscalated();
+        }
+        if (!pass) {
+            // Cold key or gate rejection: the full path must answer.
+            // Re-enter at the front of the class queue with the full
+            // cost re-projected; the re-served NUTS run stays
+            // byte-identical to a direct run with the same seed.
+            response.escalated = !cold;
+            entry.forceFull = true;
+            entry.estimatedSeconds =
+                estimate(entry.request, *warmModel, true);
+            queues_[static_cast<std::size_t>(entry.request.slo)].push_front(
+                std::move(entry));
+        }
+    }
+    if (!pass)
+        return AmortTry::Requeued;
+
+    // Serve from the cache: the measured service time is the gate check
+    // plus these copies — the whole point of the tier.
+    servedOrder_.push_back(entry.id);
+    response.servedAmortized = true;
+    response.startSeconds = start;
+    response.queueWaitSeconds = wait;
+    response.draws = cachedDraws;
+    response.posteriorMean = std::move(cachedMean);
+    response.maxRhat = entry.request.query == QueryKind::Summary
+        ? cachedRefRhat
+        : std::numeric_limits<double>::quiet_NaN();
+
+    const double service = clock.seconds();
+    response.serviceSeconds = service;
+    response.completionSeconds = start + service;
+    response.latencySeconds =
+        response.completionSeconds - response.arrivalSeconds;
+    const bool missed = response.latencySeconds > entry.deadlineSeconds;
+    response.status =
+        missed ? RequestStatus::DeadlineMiss : RequestStatus::Ok;
+    if (missed) {
+        ++deadlineMisses_;
+        ServeMetrics::get().deadlineMiss.add();
+    }
+    virtualNow_ = response.completionSeconds;
+    ServeMetrics::get().requestLatency.observe(response.latencySeconds);
+    ServeMetrics::get().serviceSeconds.observe(response.serviceSeconds);
+    return AmortTry::Served;
+}
+
 void
 Server::finishServed(Response& response, QueueEntry& entry)
 {
     obs::Span span("serve.request");
-    WarmModel* warmModelPtr = nullptr;
+    std::shared_ptr<WarmModel> warmModelPtr;
     {
-        // Short lock to resolve the cache entry; the reference stays
-        // valid unlocked (entries are never erased, map nodes are
-        // stable) so the sampler runs without the mutex held.
+        // Short lock to resolve the cache entry; the shared_ptr keeps
+        // the model/evaluator alive unlocked (even across an LRU
+        // eviction) so the sampler runs without the mutex held.
         support::MutexLock lock(mutex_);
-        warmModelPtr = &warm(entry.request.workload, entry.request.dataScale);
+        warmModelPtr = warm(entry.request.workload, entry.request.dataScale);
     }
     WarmModel& warmModel = *warmModelPtr;
 
@@ -408,6 +545,28 @@ Server::finishServed(Response& response, QueueEntry& entry)
         if (missed) {
             ++deadlineMisses_;
             ServeMetrics::get().deadlineMiss.add();
+        }
+
+        if (entry.request.keepDraws)
+            response.run =
+                std::make_shared<const samplers::RunResult>(outcome.run);
+
+        // Cold/escalated amortized requests refresh the cheap tier: an
+        // untruncated full run fits ADVI on first touch of the key and
+        // installs/refreshes the reference summary the gate compares
+        // against. (Not billed to this request's service time — the
+        // fit amortizes over all future repeats of the key.)
+        if (config_.amortizedTier && entry.forceFull
+            && !warmModel.amortDigest.empty() && !outcome.expired) {
+            support::MutexLock lock(mutex_);
+            const samplers::amortize::CacheKey key{
+                entry.request.workload, warmModel.amortDigest,
+                entry.request.dataScale};
+            samplers::amortize::Entry* cached = amortCache_.find(key);
+            if (cached == nullptr)
+                cached = &amortCache_.fit(key, *warmModel.model,
+                                          *warmModel.eval);
+            amortCache_.installReference(*cached, outcome.run);
         }
     } catch (const Error& e) {
         const double service = clock.seconds();

@@ -37,8 +37,21 @@
  * tape; a hit reuses both, so a repeat request costs zero dataset
  * regeneration and zero tape re-allocation (the arena and the
  * evaluator's reserve hints survive — asserted via Tape::nodeCapacity
- * in the tests). Chain evaluators inside a run stay per-request by
+ * in the tests). The cache is LRU-bounded at
+ * ServerConfig::warmCacheCapacity (serve.warm_evictions counts the
+ * evictions). Chain evaluators inside a run stay per-request by
  * design: that is what keeps draws deterministic per request.
+ *
+ * Amortized two-tier policy (ServerConfig::amortizedTier, see
+ * samplers/amortize.hpp and docs/serving.md): before committing to a
+ * full sampling run, the coordinator consults the amortized posterior
+ * cache. A cached fit whose acceptance gate (Pareto-k̂, KL vs the NUTS
+ * reference, reference split-R̂) passes answers the request in
+ * microseconds; a cold key or gate rejection re-enters the queue with
+ * the full path forced, and that request's NUTS run — byte-identical
+ * to a direct run with the same seed — installs/refreshes the cache
+ * entry. Admission's cost model projects the cheap-tier service time
+ * whenever the gate is expected to pass.
  */
 #pragma once
 
@@ -52,6 +65,7 @@
 #include <vector>
 
 #include "ppl/evaluator.hpp"
+#include "samplers/amortize.hpp"
 #include "samplers/runner.hpp"
 #include "support/thread_safety.hpp"
 #include "workloads/workload.hpp"
@@ -115,6 +129,13 @@ struct Request
      */
     double arrivalSeconds = -1.0;
     QueryKind query = QueryKind::Summary;
+    /**
+     * Allow the amortized tier to answer this request (only effective
+     * when ServerConfig::amortizedTier is on). Off forces full MCMC.
+     */
+    bool allowAmortized = true;
+    /** Keep the full run's draws in Response::run (tests/debugging). */
+    bool keepDraws = false;
 };
 
 /** Terminal state of a request. */
@@ -163,6 +184,15 @@ struct Response
     std::vector<double> posteriorMean;
     /** Max split-R-hat across coordinates (NaN for QueryKind::Mean). */
     double maxRhat = 0.0;
+
+    /** True when the amortized tier answered (no MCMC run at all). */
+    bool servedAmortized = false;
+    /** True when the acceptance gate rejected the cached posterior and
+     * the request escalated to the full path. */
+    bool escalated = false;
+    /** The full run's result when Request::keepDraws was set (null
+     * otherwise, and always null for amortized answers). */
+    std::shared_ptr<const samplers::RunResult> run;
 };
 
 /** Server tuning knobs. */
@@ -182,6 +212,25 @@ struct ServerConfig
     double costPerNodeSeconds = 2e-9;
     /** Shed Batch-class requests when the pool backlog exceeds this. */
     std::size_t maxPoolBacklog = 4096;
+
+    /**
+     * Enable the amortized two-tier serving policy: repeat requests
+     * whose acceptance gate passes are answered from the cached ADVI
+     * posterior; cold keys and gate rejections re-enter the queue and
+     * take the full NUTS path (byte-identical draws), whose run then
+     * installs/refreshes the cache entry's reference summary.
+     */
+    bool amortizedTier = false;
+    /** Cheap-tier fit + gate settings. */
+    samplers::amortize::AmortizeConfig amortize;
+    /**
+     * Projected service time of an amortized-tier answer, used by the
+     * admission cost model when the gate is expected to pass.
+     */
+    double amortizedServiceSeconds = 500e-6;
+    /** Warm-model cache bound: least-recently-used entries beyond this
+     * are evicted (serve.warm_evictions counts them). */
+    std::size_t warmCacheCapacity = 32;
 };
 
 /**
@@ -247,6 +296,11 @@ class Server
     std::uint64_t deadlineMisses() const { return deadlineMisses_; }
     std::uint64_t warmHits() const { return warmHits_; }
     std::uint64_t warmMisses() const { return warmMisses_; }
+    std::uint64_t warmEvictions() const { return warmEvictions_; }
+
+    /** Amortized-tier accounting snapshot
+     * (served + escalated + cold == requests, exactly). */
+    samplers::amortize::Stats amortStats() const;
 
     /**
      * Deterministic service-time estimate for @p request (the
@@ -271,6 +325,10 @@ class Server
         std::unique_ptr<ppl::Evaluator> eval;
         /** Tape nodes of one gradient evaluation (profiled once). */
         double nodesPerEval = 0.0;
+        /** Amortized-cache dataset fingerprint (empty: not amortizable). */
+        std::string amortDigest;
+        /** LRU tick of the last warm() touch (eviction order). */
+        std::uint64_t lastUse = 0;
     };
 
     struct QueueEntry
@@ -280,30 +338,49 @@ class Server
         double arrivalSeconds = 0.0;
         double deadlineSeconds = 0.0;
         double estimatedSeconds = 0.0;
+        /** Set when an amortized miss/escalation re-enqueued the
+         * request: the second pass must take the full path. */
+        bool forceFull = false;
     };
 
-    WarmModel& warm(const std::string& name, double dataScale)
+    /** Amortized-tier attempt outcome (serveNext control flow). */
+    enum class AmortTry
+    {
+        Served,         ///< answered from the cache, bookkeeping done
+        Requeued,       ///< cold/escalated: re-enqueued with forceFull
+        NotAmortizable, ///< model exposes no statistics: full path now
+    };
+
+    std::shared_ptr<WarmModel> warm(const std::string& name,
+                                    double dataScale)
         BAYES_REQUIRES(mutex_);
-    double estimate(const Request& request, const WarmModel& warm) const;
+    double estimate(const Request& request, const WarmModel& warm,
+                    bool forceFull) BAYES_REQUIRES(mutex_);
     double projectedWaitSeconds(SloClass slo) const BAYES_REQUIRES(mutex_);
     std::size_t queueDepthLocked() const BAYES_REQUIRES(mutex_);
     void shed(Response& response);
     void fail(Response& response, const std::string& why);
     void serveNext();
+    AmortTry tryAmortized(Response& response, QueueEntry& entry,
+                          double start, double wait);
     void finishServed(Response& response, QueueEntry& entry);
 
     ServerConfig config_;
-    /** Guards the admission-time state: queues + warm-model cache. */
+    /** Guards the admission-time state: queues, warm-model cache, and
+     * the amortized posterior cache. */
     mutable support::Mutex mutex_;
     std::array<std::deque<QueueEntry>, kNumSloClasses> queues_
         BAYES_GUARDED_BY(mutex_);
     /**
-     * Keyed (workload, dataScale); entries are never erased, so
-     * references to a WarmModel stay valid after the lock is dropped
-     * (std::map nodes are stable) — serving holds no lock while the
-     * sampler runs.
+     * Keyed (workload, dataScale), LRU-bounded at
+     * ServerConfig::warmCacheCapacity. Entries are shared_ptr so the
+     * serving path can keep its model/evaluator alive unlocked while
+     * the sampler runs even if the entry is evicted meanwhile.
      */
-    std::map<std::pair<std::string, double>, WarmModel> warmCache_
+    std::map<std::pair<std::string, double>, std::shared_ptr<WarmModel>>
+        warmCache_ BAYES_GUARDED_BY(mutex_);
+    /** Amortized posterior cache (the cheap tier). */
+    samplers::amortize::AmortizedCache amortCache_
         BAYES_GUARDED_BY(mutex_);
     std::vector<Response> responses_;
     std::vector<std::uint64_t> servedOrder_;
@@ -313,6 +390,9 @@ class Server
     std::uint64_t deadlineMisses_ = 0;
     std::uint64_t warmHits_ = 0;
     std::uint64_t warmMisses_ = 0;
+    std::uint64_t warmEvictions_ = 0;
+    /** Monotone warm() touch counter feeding WarmModel::lastUse. */
+    std::uint64_t warmUseTick_ = 0;
 };
 
 } // namespace bayes::serve

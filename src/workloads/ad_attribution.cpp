@@ -162,4 +162,33 @@ AdAttribution::logProbScalar(const ppl::ParamView<ad::Var>& p) const
     return logDensityScalar(p);
 }
 
+std::vector<double>
+AdAttribution::dataSufficientStats() const
+{
+    // Bernoulli GLM: dataset is identified by shape, the outcome count,
+    // and feature moments plus the outcome/feature cross moment.
+    double sumY = 0.0;
+    for (int y : outcomes_)
+        sumY += y;
+    double sumX = 0.0;
+    double sumXX = 0.0;
+    for (double x : features_) {
+        sumX += x;
+        sumXX += x * x;
+    }
+    double cross = 0.0;
+    for (std::size_t i = 0; i < outcomes_.size(); ++i) {
+        if (outcomes_[i] == 0)
+            continue;
+        for (std::size_t j = 0; j < numFeatures_; ++j)
+            cross += features_[i * numFeatures_ + j];
+    }
+    return {static_cast<double>(outcomes_.size()),
+            static_cast<double>(numFeatures_),
+            sumY,
+            sumX,
+            sumXX,
+            cross};
+}
+
 } // namespace bayes::workloads

@@ -35,6 +35,8 @@ class AdAttribution : public Workload
     /** Number of predictors (channels + demographics). */
     std::size_t numFeatures() const { return numFeatures_; }
 
+    std::vector<double> dataSufficientStats() const override;
+
     /** Parameter block indices. */
     enum Block : std::size_t
     {

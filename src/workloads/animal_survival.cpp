@@ -265,4 +265,37 @@ AnimalSurvival::logProbScalar(const ppl::ParamView<ad::Var>& p) const
     return logDensityScalar(p);
 }
 
+std::vector<double>
+AnimalSurvival::dataSufficientStats() const
+{
+    // The CJS likelihood depends on the histories only through the
+    // precomputed per-(group, occasion) count tables, so their sums
+    // (plus position-weighted checksums to distinguish permutations)
+    // are exactly sufficient.
+    auto tableStats = [](const std::vector<double>& table,
+                         double& sum, double& checksum) {
+        sum = 0.0;
+        checksum = 0.0;
+        for (std::size_t i = 0; i < table.size(); ++i) {
+            sum += table[i];
+            checksum += table[i] * static_cast<double>(i + 1);
+        }
+    };
+    double phiSum = 0.0, phiChk = 0.0;
+    double pSum = 0.0, pChk = 0.0;
+    double p1mSum = 0.0, p1mChk = 0.0;
+    double chiSum = 0.0, chiChk = 0.0;
+    tableStats(phiCount_, phiSum, phiChk);
+    tableStats(pCount_, pSum, pChk);
+    tableStats(p1mCount_, p1mSum, p1mChk);
+    tableStats(chiCount_, chiSum, chiChk);
+    return {static_cast<double>(firstCapture_.size()),
+            static_cast<double>(numOccasions_),
+            static_cast<double>(numGroups_),
+            phiSum, phiChk,
+            pSum, pChk,
+            p1mSum, p1mChk,
+            chiSum, chiChk};
+}
+
 } // namespace bayes::workloads

@@ -36,6 +36,8 @@ class AnimalSurvival : public Workload
     /** Number of site groups (recapture heterogeneity). */
     std::size_t numGroups() const { return numGroups_; }
 
+    std::vector<double> dataSufficientStats() const override;
+
     /** Parameter block indices. */
     enum Block : std::size_t
     {

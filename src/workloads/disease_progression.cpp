@@ -219,4 +219,31 @@ DiseaseProgression::logProbScalar(const ppl::ParamView<ad::Var>& p) const
     return logDensityScalar(p);
 }
 
+std::vector<double>
+DiseaseProgression::dataSufficientStats() const
+{
+    double sumBio = 0.0;
+    double sumBioSq = 0.0;
+    for (double b : biomarker_) {
+        sumBio += b;
+        sumBioSq += b * b;
+    }
+    double sumDiag = 0.0;
+    for (int d : diagnosis_)
+        sumDiag += d;
+    double sumBasis = 0.0;
+    double sumBasisSq = 0.0;
+    for (double b : basis_) {
+        sumBasis += b;
+        sumBasisSq += b * b;
+    }
+    return {static_cast<double>(biomarker_.size()),
+            static_cast<double>(numBasis_),
+            sumBio,
+            sumBioSq,
+            sumDiag,
+            sumBasis,
+            sumBasisSq};
+}
+
 } // namespace bayes::workloads

@@ -35,6 +35,8 @@ class DiseaseProgression : public Workload
     /** Number of I-spline basis functions. */
     std::size_t numBasis() const { return numBasis_; }
 
+    std::vector<double> dataSufficientStats() const override;
+
     /** Parameter block indices. */
     enum Block : std::size_t
     {

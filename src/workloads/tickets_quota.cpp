@@ -232,4 +232,40 @@ TicketsQuota::logProbScalar(const ppl::ParamView<ad::Var>& p) const
     return logDensityScalar(p);
 }
 
+std::vector<double>
+TicketsQuota::dataSufficientStats() const
+{
+    // Poisson GLM with subsampling: the active-row window and weight
+    // are part of the likelihood's identity, not just the raw data.
+    double sumCounts = 0.0;
+    double sumCountsSq = 0.0;
+    double officerChecksum = 0.0;
+    double sumEom = 0.0;
+    for (std::size_t i = 0; i < activeRows_; ++i) {
+        const double c = static_cast<double>(counts_[i]);
+        sumCounts += c;
+        sumCountsSq += c * c;
+        officerChecksum += static_cast<double>(officer_[i]) *
+                           static_cast<double>(i + 1);
+        sumEom += endOfMonth_[i];
+    }
+    double sumCov = 0.0;
+    double sumCovSq = 0.0;
+    for (std::size_t i = 0; i < activeRows_ * numCovariates_; ++i) {
+        sumCov += covariates_[i];
+        sumCovSq += covariates_[i] * covariates_[i];
+    }
+    return {static_cast<double>(counts_.size()),
+            static_cast<double>(activeRows_),
+            static_cast<double>(numOfficers_),
+            static_cast<double>(numCovariates_),
+            likelihoodWeight_,
+            sumCounts,
+            sumCountsSq,
+            officerChecksum,
+            sumEom,
+            sumCov,
+            sumCovSq};
+}
+
 } // namespace bayes::workloads

@@ -47,6 +47,8 @@ class TicketsQuota : public Workload
     /** Number of observation rows. */
     std::size_t numRows() const { return counts_.size(); }
 
+    std::vector<double> dataSufficientStats() const override;
+
     /** End-of-month quota effect used to generate the data. */
     static constexpr double kTrueQuotaEffect = 0.35;
 

@@ -209,4 +209,37 @@ TwelveCities::logProbScalar(const ppl::ParamView<ad::Var>& p) const
     return logDensityScalar(p);
 }
 
+std::vector<double>
+TwelveCities::dataSufficientStats() const
+{
+    // Poisson panel regression: counts, count moments, covariate sums,
+    // exposure total, and the city index checksum pin down the panel.
+    double sumDeaths = 0.0;
+    double sumDeathsSq = 0.0;
+    for (long d : deaths_) {
+        const double dd = static_cast<double>(d);
+        sumDeaths += dd;
+        sumDeathsSq += dd * dd;
+    }
+    double sumLowered = 0.0;
+    double sumYearSq = 0.0;
+    double sumExposure = 0.0;
+    double cityChecksum = 0.0;
+    for (std::size_t i = 0; i < deaths_.size(); ++i) {
+        sumLowered += limitLowered_[i];
+        sumYearSq += yearCentered_[i] * yearCentered_[i];
+        sumExposure += logExposure_[i];
+        cityChecksum += static_cast<double>(city_[i]) *
+                        static_cast<double>(i + 1);
+    }
+    return {static_cast<double>(deaths_.size()),
+            static_cast<double>(numCities_),
+            sumDeaths,
+            sumDeathsSq,
+            sumLowered,
+            sumYearSq,
+            sumExposure,
+            cityChecksum};
+}
+
 } // namespace bayes::workloads

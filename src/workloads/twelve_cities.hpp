@@ -35,6 +35,8 @@ class TwelveCities : public Workload
     /** Number of cities in the panel. */
     std::size_t numCities() const { return numCities_; }
 
+    std::vector<double> dataSufficientStats() const override;
+
     /** Treatment effect used to generate the data (for recovery tests). */
     static constexpr double kTrueLimitEffect = -0.18;
 

@@ -146,4 +146,27 @@ VotesForecast::logProbScalar(const ppl::ParamView<ad::Var>& p) const
     return logDensityScalar(p);
 }
 
+std::vector<double>
+VotesForecast::dataSufficientStats() const
+{
+    double sumCycle = 0.0;
+    double sumCycleSq = 0.0;
+    for (double c : cycleYears_) {
+        sumCycle += c;
+        sumCycleSq += c * c;
+    }
+    double sumObs = 0.0;
+    double sumObsSq = 0.0;
+    for (double o : observed_) {
+        sumObs += o;
+        sumObsSq += o * o;
+    }
+    return {static_cast<double>(cycleYears_.size()),
+            static_cast<double>(numObserved_),
+            sumCycle,
+            sumCycleSq,
+            sumObs,
+            sumObsSq};
+}
+
 } // namespace bayes::workloads

@@ -36,6 +36,8 @@ class VotesForecast : public Workload
     /** Number of observed (historical) cycles. */
     std::size_t numObserved() const { return observed_.size(); }
 
+    std::vector<double> dataSufficientStats() const override;
+
     /** Parameter block indices. */
     enum Block : std::size_t
     {

@@ -1,0 +1,15 @@
+// Fixture twin of src/samplers/amortize_gate.hpp: the one file where
+// R014 permits acceptance-gate threshold literals. Nothing here may
+// fire.
+#pragma once
+
+namespace fixture {
+
+struct GateThresholds
+{
+    double khatMax = 0.70;
+    double klMax = 1.0;
+    double refRhatMax = 1.10;
+};
+
+} // namespace fixture

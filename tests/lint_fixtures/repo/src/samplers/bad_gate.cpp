@@ -1,0 +1,18 @@
+// R014 fixture: acceptance-gate threshold literals restated outside
+// amortize_gate.hpp, in every spelling the rule must catch — plus the
+// legal pattern (threading a configured value) that must stay quiet.
+#include "amortize_gate.hpp"
+
+namespace fixture {
+
+double
+gateDrift(GateThresholds& gate, const GateThresholds& tuned)
+{
+    gate.khatMax = 0.7;                    // EXPECT: R014
+    gate.klMax = -1.5;                     // EXPECT: R014
+    const GateThresholds strict{.refRhatMax{1.05}};  // EXPECT: R014
+    gate.refRhatMax = tuned.refRhatMax; // configured value: legal
+    return strict.refRhatMax + gate.khatMax;
+}
+
+} // namespace fixture

@@ -7,9 +7,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "support/error.hpp"
 #include "diagnostics/convergence.hpp"
+#include "diagnostics/importance.hpp"
 #include "diagnostics/summary.hpp"
 #include "support/rng.hpp"
 
@@ -209,6 +211,112 @@ TEST(Summary, PooledCoordinateConcatenatesChains)
     run.chains[1].draws = {{3.0}};
     const auto pooled = pooledCoordinate(run, 0);
     EXPECT_EQ(pooled, (std::vector<double>{1.0, 2.0, 3.0}));
+}
+
+TEST(GaussianKl, EdgeCases)
+{
+    // Zero and negative scales are rejected, not silently flushed.
+    EXPECT_THROW(gaussianKl1d(0.0, 0.0, 0.0, 1.0), Error);
+    EXPECT_THROW(gaussianKl1d(0.0, 1.0, 0.0, 0.0), Error);
+    EXPECT_THROW(gaussianKl1d(0.0, -1.0, 0.0, 1.0), Error);
+    // Near-zero (but positive) sd stays finite and well-defined.
+    EXPECT_TRUE(std::isfinite(gaussianKl1d(0.0, 1e-300, 0.0, 1.0)));
+    EXPECT_GT(gaussianKl1d(0.0, 1e-300, 1.0, 1.0), 0.0);
+
+    // Mismatched coordinate counts and empty per-coordinate samples.
+    EXPECT_THROW(gaussianKl({{1, 2, 3}}, {{1, 2}, {3, 4}}), Error);
+    EXPECT_THROW(gaussianKl({{}}, {{1.0, 2.0}}), Error);
+    EXPECT_THROW(gaussianKl({{1.0, 2.0}}, {{}}), Error);
+
+    // Point-mass coordinates hit the 1e-12 scale floor and stay finite.
+    const std::vector<std::vector<double>> pointMass{{2.0, 2.0, 2.0}};
+    const std::vector<std::vector<double>> spread{{1.0, 2.0, 3.0}};
+    EXPECT_TRUE(std::isfinite(gaussianKl(pointMass, spread)));
+    EXPECT_NEAR(gaussianKl(pointMass, pointMass), 0.0, 1e-9);
+}
+
+/**
+ * Deterministic Pareto(alpha) tail fixture: quantile-grid weights
+ * w_i = (1 - u_i)^(-1/alpha) with u_i = (i+0.5)/n, whose importance
+ * log-ratios have true tail index 1/alpha.
+ */
+std::vector<double>
+paretoLogRatios(double alpha, std::size_t n)
+{
+    std::vector<double> lr(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const double u = (static_cast<double>(i) + 0.5)
+            / static_cast<double>(n);
+        lr[i] = (-1.0 / alpha) * std::log(1.0 - u);
+    }
+    return lr;
+}
+
+TEST(ParetoKhat, RecoversTheTailIndexOfParetoFixtures)
+{
+    // k-hat ~= 1/alpha, with tolerance for the quantile-grid truncation
+    // of the extreme tail (which biases heavy fixtures slightly low).
+    EXPECT_NEAR(paretoKhat(paretoLogRatios(1.0, 4000)), 1.0, 0.25);
+    EXPECT_NEAR(paretoKhat(paretoLogRatios(2.0, 4000)), 0.5, 0.1);
+    EXPECT_NEAR(paretoKhat(paretoLogRatios(10.0, 4000)), 0.1, 0.1);
+    // Heavy (infinite-variance) vs light fixtures land on the right
+    // side of the 0.7 reliability cutoff.
+    EXPECT_GT(paretoKhat(paretoLogRatios(1.0, 4000)), 0.7);
+    EXPECT_LT(paretoKhat(paretoLogRatios(10.0, 4000)), 0.7);
+}
+
+TEST(ParetoKhat, LightTailedRatiosScoreWellBelowTheCutoff)
+{
+    Rng rng(31);
+    std::vector<double> lr(4000);
+    for (double& l : lr)
+        l = rng.normal(0.0, 0.3); // near-perfect proposal
+    EXPECT_LT(paretoKhat(lr), 0.5);
+}
+
+TEST(ParetoKhat, IsDeterministic)
+{
+    const auto lr = paretoLogRatios(2.0, 1000);
+    EXPECT_EQ(paretoKhat(lr), paretoKhat(lr));
+}
+
+TEST(ParetoKhat, EdgeCases)
+{
+    EXPECT_THROW(paretoKhat({}), Error);
+    // Fewer than 5 finite ratios: no tail to fit.
+    EXPECT_TRUE(std::isnan(paretoKhat({0.1, 0.2, 0.3, 0.4})));
+    // Identical weights: degenerate tail reports -inf (bounded).
+    EXPECT_EQ(paretoKhat(std::vector<double>(100, 0.7)),
+              -std::numeric_limits<double>::infinity());
+    // +inf or NaN ratios poison the estimate to +inf (escalate).
+    auto poisoned = paretoLogRatios(2.0, 100);
+    poisoned[3] = std::numeric_limits<double>::infinity();
+    EXPECT_EQ(paretoKhat(poisoned),
+              std::numeric_limits<double>::infinity());
+    poisoned[3] = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_EQ(paretoKhat(poisoned),
+              std::numeric_limits<double>::infinity());
+    // -inf ratios are zero weights: dropped, not fatal.
+    auto zeros = paretoLogRatios(2.0, 1000);
+    zeros[0] = -std::numeric_limits<double>::infinity();
+    EXPECT_TRUE(std::isfinite(paretoKhat(zeros)));
+}
+
+TEST(ImportanceDiagnostics, UniformWeightsAreIdeal)
+{
+    const std::vector<double> lr(256, 1.7); // constant log ratio
+    const ImportanceDiagnostics d = importanceDiagnostics(lr);
+    EXPECT_NEAR(d.essRatio, 1.0, 1e-12);
+    EXPECT_NEAR(d.maxWeightFraction, 1.0 / 256.0, 1e-12);
+}
+
+TEST(ImportanceDiagnostics, OneDominantWeightCollapsesTheEss)
+{
+    std::vector<double> lr(256, 0.0);
+    lr[17] = 40.0; // e^40 dwarfs everything else
+    const ImportanceDiagnostics d = importanceDiagnostics(lr);
+    EXPECT_LT(d.essRatio, 0.01);
+    EXPECT_GT(d.maxWeightFraction, 0.99);
 }
 
 } // namespace

@@ -1,0 +1,37 @@
+"""R014: amortized acceptance-gate threshold literals live in exactly
+one header.
+
+The two-tier serving policy accepts or escalates a request by comparing
+precomputed diagnostics against the thresholds in
+src/samplers/amortize_gate.hpp (GateThresholds). Those numbers are
+policy, and policy drift is the classic failure mode: a second 0.7
+hard-coded at a call site silently disagrees with the header the
+operators tune. Any assignment or brace-initialization of a
+GateThresholds member (khatMax / klMax / refRhatMax) with a numeric
+literal anywhere else under src/ is a finding; call sites must read the
+configured thresholds instead of restating them.
+"""
+
+from __future__ import annotations
+
+import re
+
+from ..engine import rule
+from ..source import grep_rule, in_dirs
+
+R014_PAT = re.compile(
+    r"\b(?:khatMax|klMax|refRhatMax)\s*(?:=|\{)\s*[+-]?(?:\d|\.\d)")
+R014_ALLOWED = {"src/samplers/amortize_gate.hpp"}
+
+
+@rule("R014", "acceptance-gate threshold literals confined to "
+              "src/samplers/amortize_gate.hpp")
+def rule_r014(files, findings, _ctx):
+    for sf in files:
+        if not in_dirs(sf.relpath, "src") or sf.relpath in R014_ALLOWED:
+            continue
+        grep_rule(sf, R014_PAT, "R014",
+                  "acceptance-gate threshold literal outside "
+                  "src/samplers/amortize_gate.hpp; tune GateThresholds "
+                  "there (or thread a configured value), never a "
+                  "restated number", findings)
